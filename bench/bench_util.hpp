@@ -1,0 +1,224 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Every bench binary reproduces one table or figure: it builds the same
+// federation (synthetic non-IID data, scaled models), runs the requested
+// algorithms, prints the paper's row/series schema to stdout, and writes a
+// CSV next to the binary. Scale is CPU-sized by default; set
+// SPATL_BENCH_SCALE=large for longer runs on beefier machines.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "core/spatl.hpp"
+#include "core/transfer.hpp"
+#include "data/synthetic.hpp"
+#include "fl/runner.hpp"
+#include "models/split_model.hpp"
+
+namespace spatl::bench {
+
+struct BenchScale {
+  std::size_t samples_per_client = 80;
+  std::size_t rounds = 10;
+  std::size_t local_epochs = 2;
+  std::size_t eval_every = 2;
+  std::size_t input_size = 10;
+  std::size_t batch_size = 16;
+  double width_mult = 0.25;
+  double lr = 0.05;
+};
+
+inline BenchScale bench_scale() {
+  BenchScale s;
+  const char* env = std::getenv("SPATL_BENCH_SCALE");
+  if (env != nullptr && std::string(env) == "large") {
+    s.samples_per_client = 400;
+    s.rounds = 60;
+    s.local_epochs = 10;
+    s.eval_every = 2;
+    s.input_size = 16;
+    s.batch_size = 32;
+    s.width_mult = 0.5;
+  }
+  return s;
+}
+
+/// SynthCIFAR sized for the federation ("cifar" domain) or SynthFEMNIST
+/// ("femnist"). Total samples grow with the client count so each client
+/// keeps a fixed-size shard, as the Non-IID benchmark does.
+inline data::Dataset make_source(const std::string& domain,
+                                 std::size_t num_clients,
+                                 const BenchScale& s,
+                                 std::uint64_t seed = 42) {
+  data::SyntheticConfig cfg;
+  cfg.num_samples = num_clients * s.samples_per_client;
+  cfg.image_size = s.input_size;
+  cfg.noise_stddev = 0.25f;
+  cfg.seed = seed;
+  if (domain == "femnist") {
+    cfg.num_classes = 20;  // scaled-down LEAF class space
+    return data::make_synth_femnist(cfg);
+  }
+  return data::make_synth_cifar(cfg);
+}
+
+inline fl::FlConfig make_fl_config(const std::string& arch,
+                                   const std::string& domain,
+                                   const BenchScale& s,
+                                   std::uint64_t seed = 42) {
+  fl::FlConfig cfg;
+  cfg.model.arch = arch;
+  cfg.model.input_size = s.input_size;
+  cfg.model.width_mult = s.width_mult;
+  if (domain == "femnist") {
+    cfg.model.in_channels = 1;
+    cfg.model.num_classes = 20;
+  }
+  cfg.local.epochs = s.local_epochs;
+  cfg.local.batch_size = s.batch_size;
+  cfg.local.lr = s.lr;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline core::SpatlOptions default_spatl_options() {
+  core::SpatlOptions opts;
+  opts.flops_budget = 0.7;
+  opts.agent_finetune_rounds = 2;
+  opts.agent_finetune_episodes = 2;
+  return opts;
+}
+
+/// One federated run of a named algorithm ("fedavg", ..., "spatl").
+struct AlgoRun {
+  std::string algorithm;
+  fl::RunResult result;
+  double uplink_bytes = 0.0;
+  double downlink_bytes = 0.0;
+  double avg_round_client_bytes = 0.0;  // measured (up+down)/(rounds*participants)
+  std::vector<double> client_flops_ratios;  // spatl only
+  std::vector<double> client_sparsities;    // spatl only
+  std::vector<double> per_client_accuracy;
+};
+
+struct RunSpec {
+  std::string arch = "resnet20";
+  std::string domain = "cifar";
+  std::size_t num_clients = 10;
+  double sample_ratio = 1.0;
+  double beta = 0.3;  // calibrated: synthetic task is easier than CIFAR, see EXPERIMENTS.md
+  std::optional<double> target_accuracy;
+  std::size_t rounds_override = 0;  // 0 = use scale default
+  bool capture_per_client = false;
+};
+
+inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
+                             const BenchScale& s,
+                             const core::SpatlOptions& spatl_opts,
+                             const rl::PpoAgent* pretrained = nullptr,
+                             std::uint64_t seed = 42) {
+  const data::Dataset source =
+      make_source(spec.domain, spec.num_clients, s, seed);
+  common::Rng env_rng(seed ^ 0xE47ULL);
+  fl::FlEnvironment env(source, spec.num_clients, spec.beta,
+                        /*val_fraction=*/0.25, env_rng);
+  fl::FlConfig cfg = make_fl_config(spec.arch, spec.domain, s, seed);
+
+  std::unique_ptr<fl::FederatedAlgorithm> algorithm;
+  core::SpatlAlgorithm* spatl_ptr = nullptr;
+  if (algo == "spatl") {
+    auto sp = std::make_unique<core::SpatlAlgorithm>(env, cfg, spatl_opts,
+                                                     pretrained);
+    spatl_ptr = sp.get();
+    algorithm = std::move(sp);
+  } else {
+    algorithm = fl::make_baseline(algo, env, cfg);
+  }
+
+  fl::RunOptions ro;
+  ro.rounds = spec.rounds_override > 0 ? spec.rounds_override : s.rounds;
+  ro.sample_ratio = spec.sample_ratio;
+  ro.eval_every = s.eval_every;
+  ro.target_accuracy = spec.target_accuracy;
+
+  AlgoRun run;
+  run.algorithm = algo;
+  run.result = fl::run_federated(*algorithm, ro);
+  run.uplink_bytes = algorithm->ledger().uplink_bytes();
+  run.downlink_bytes = algorithm->ledger().downlink_bytes();
+  const double participants =
+      std::max(1.0, std::ceil(spec.sample_ratio * double(spec.num_clients)));
+  const double effective_rounds =
+      double(run.result.rounds_to_target.value_or(ro.rounds));
+  run.avg_round_client_bytes =
+      (run.uplink_bytes + run.downlink_bytes) /
+      (participants * std::max(1.0, effective_rounds));
+  if (spatl_ptr != nullptr) {
+    run.client_flops_ratios = spatl_ptr->client_flops_ratios();
+    run.client_sparsities = spatl_ptr->client_sparsities();
+  }
+  if (spec.capture_per_client) {
+    run.per_client_accuracy = algorithm->per_client_accuracy();
+  }
+  return run;
+}
+
+/// Pre-train the salient-selection agent once per bench process (the
+/// paper's ResNet-56 pruning pre-training, scaled).
+inline const rl::PpoAgent& shared_pretrained_agent() {
+  static core::PretrainResult result = [] {
+    core::PretrainConfig pc;
+    pc.arch = "resnet56";
+    pc.input_size = 10;
+    pc.width_mult = 0.25;
+    pc.warmup_epochs = 1;
+    pc.rl_rounds = 6;
+    pc.episodes_per_round = 3;
+    pc.train_samples = 300;
+    pc.val_samples = 120;
+    common::log_info("pre-training salient selection agent (ResNet-56)...");
+    return core::pretrain_selection_agent(pc);
+  }();
+  return result.agent;
+}
+
+/// Analytic full-scale (paper-sized) per-round/client bytes for an
+/// algorithm, given the measured salient fraction for SPATL. Used to report
+/// the Table I/II "Round/Client" column at the paper's model sizes.
+inline double full_scale_round_client_bytes(const std::string& algo,
+                                            const std::string& arch,
+                                            double spatl_selected_fraction) {
+  common::Rng rng(1);
+  models::ModelConfig cfg;
+  cfg.arch = arch;
+  cfg = cfg.full_scale();
+  models::SplitModel m = models::build_model(cfg, rng);
+  const double enc = double(m.encoder_param_count());
+  const double full = enc + double(m.predictor_param_count());
+  const double B = 4.0;
+  if (algo == "fedavg" || algo == "fedprox") return 2.0 * full * B;
+  if (algo == "fednova") return 3.0 * full * B;   // up is 2x (update + norm state)
+  if (algo == "scaffold") return 4.0 * full * B;  // both directions 2x
+  // SPATL: down = enc + control; up = selected (values + control delta) +
+  // channel indices (negligible).
+  return (2.0 * enc + 2.0 * spatl_selected_fraction * enc) * B;
+}
+
+inline std::string csv_path(const std::string& bench_name) {
+  return bench_name + ".csv";
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace spatl::bench

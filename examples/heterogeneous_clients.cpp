@@ -1,0 +1,114 @@
+// Heterogeneous clients: how SPATL's local predictors absorb non-IID skew.
+//
+// Sweeps the Dirichlet concentration (beta in {0.1, 0.5, 5.0}; lower =
+// more skew), reports per-client accuracy spread for SPATL vs FedAvg, and
+// demonstrates cold-client adaptation (paper eq. 4): a client that never
+// participated downloads the encoder and trains only its local predictor.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "core/spatl.hpp"
+#include "data/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "fl/runner.hpp"
+
+using namespace spatl;
+
+namespace {
+
+struct Spread {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double worst = 0.0;
+};
+
+Spread spread_of(const std::vector<double>& acc) {
+  Spread s;
+  for (double v : acc) s.mean += v;
+  s.mean /= double(acc.size());
+  for (double v : acc) s.stddev += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(s.stddev / double(acc.size()));
+  s.worst = *std::min_element(acc.begin(), acc.end());
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  common::set_log_level(common::LogLevel::kWarn);
+
+  data::SyntheticConfig dcfg;
+  dcfg.num_samples = 10 * 100;
+  dcfg.image_size = 12;
+  const data::Dataset source = data::make_synth_cifar(dcfg);
+
+  fl::FlConfig cfg;
+  cfg.model.arch = "resnet20";
+  cfg.model.input_size = 12;
+  cfg.model.width_mult = 0.25;
+  cfg.local.epochs = 3;
+  cfg.local.lr = 0.05;
+
+  std::printf("Dirichlet sweep: per-client accuracy spread after 6 rounds\n");
+  std::printf("%-6s | %22s | %22s\n", "beta", "SPATL mean/std/worst",
+              "FedAvg mean/std/worst");
+  for (double beta : {0.1, 0.5, 5.0}) {
+    common::Rng rng1(7), rng2(7);
+    fl::FlEnvironment env1(source, 10, beta, 0.25, rng1);
+    fl::FlEnvironment env2(source, 10, beta, 0.25, rng2);
+
+    core::SpatlOptions opts;
+    opts.agent_finetune_rounds = 1;
+    opts.agent_finetune_episodes = 2;
+    core::SpatlAlgorithm spatl(env1, cfg, opts);
+    auto fedavg = fl::make_baseline("fedavg", env2, cfg);
+
+    fl::RunOptions ro;
+    ro.rounds = 6;
+    ro.eval_every = ro.rounds;  // only final state matters here
+    fl::run_federated(spatl, ro);
+    fl::run_federated(*fedavg, ro);
+
+    const Spread ss = spread_of(spatl.per_client_accuracy());
+    const Spread fs = spread_of(fedavg->per_client_accuracy());
+    std::printf("%-6.1f | %6.1f%% %5.1f%% %5.1f%% | %6.1f%% %5.1f%% %5.1f%%\n",
+                beta, ss.mean * 100, ss.stddev * 100, ss.worst * 100,
+                fs.mean * 100, fs.stddev * 100, fs.worst * 100);
+  }
+
+  // Cold-client adaptation (eq. 4): train with 9 of 10 clients, then adapt
+  // the held-out client's predictor without ever uploading from it.
+  std::printf("\ncold-client adaptation (paper eq. 4)\n");
+  common::Rng rng(11);
+  fl::FlEnvironment env(source, 10, 0.5, 0.25, rng);
+  core::SpatlOptions opts;
+  opts.agent_finetune_rounds = 1;
+  opts.agent_finetune_episodes = 2;
+  core::SpatlAlgorithm spatl(env, cfg, opts);
+  fl::RunOptions ro;
+  ro.rounds = 6;
+  ro.sample_ratio = 0.9;  // client 9 may never participate
+  ro.eval_every = ro.rounds;
+  fl::run_federated(spatl, ro);
+
+  const double before = spatl.per_client_accuracy()[9];
+  const double after = spatl.adapt_cold_client(9, /*epochs=*/4);
+  std::printf("  client 9 accuracy: %.1f%% before adaptation, %.1f%% after "
+              "predictor-only training\n",
+              before * 100.0, after * 100.0);
+
+  // Per-class view of the adapted client: non-IID shards leave some classes
+  // nearly unseen locally, which top-1 accuracy alone hides.
+  const auto cm =
+      data::evaluate_confusion(spatl.client_model(9), env.client(9).val);
+  std::printf("  client 9 after adaptation: top-1 %.1f%%, macro-F1 %.2f\n",
+              cm.accuracy() * 100.0, cm.macro_f1());
+  std::printf("  per-class recall:");
+  for (std::size_t c = 0; c < cm.num_classes(); ++c) {
+    std::printf(" %.0f%%", cm.recall(int(c)) * 100.0);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Standalone use of the salient-parameter selection agent as a network
+// pruner (the paper's §IV-B task, outside of federated learning).
+//
+// Pre-trains the GNN-PPO agent on a ResNet-56 pruning task, then transfers
+// it to a ResNet-20 and prunes to a FLOPs budget, comparing against L1
+// magnitude pruning.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "core/transfer.hpp"
+#include "data/loader.hpp"
+#include "data/synthetic.hpp"
+#include "prune/flops.hpp"
+#include "prune/pipelines.hpp"
+
+using namespace spatl;
+
+int main() {
+  common::set_log_level(common::LogLevel::kWarn);
+
+  // 1. Pre-train the agent on ResNet-56 pruning (scaled-down).
+  core::PretrainConfig pc;
+  pc.arch = "resnet56";
+  pc.input_size = 10;
+  pc.width_mult = 0.25;
+  pc.warmup_epochs = 2;
+  pc.rl_rounds = 8;
+  pc.episodes_per_round = 3;
+  std::printf("pre-training selection agent on ResNet-56...\n");
+  auto pre = core::pretrain_selection_agent(pc);
+  std::printf("  best pruning reward during pre-training: %.1f%%\n",
+              pre.history.best_reward * 100.0);
+
+  // 2. A trained ResNet-20 to prune.
+  data::SyntheticConfig dcfg;
+  dcfg.num_samples = 500;
+  dcfg.image_size = 10;
+  const data::Dataset all = data::make_synth_cifar(dcfg);
+  const data::Dataset train = all.slice(0, 400);
+  const data::Dataset test = all.slice(400, 500);
+
+  models::ModelConfig mcfg;
+  mcfg.arch = "resnet20";
+  mcfg.input_size = 10;
+  mcfg.width_mult = 0.25;
+  common::Rng rng(3);
+  models::SplitModel model = models::build_model(mcfg, rng);
+  data::TrainOptions topts;
+  topts.epochs = 6;
+  topts.lr = 0.05;
+  data::train_supervised(model, train, topts, rng, model.all_params());
+  const double dense_acc = data::evaluate(model, test).accuracy;
+  const double dense_flops = prune::dense_encoder_flops(model.layers());
+  std::printf("\ndense ResNet-20: accuracy %.1f%%, %s FLOPs\n",
+              dense_acc * 100.0,
+              common::format_count(dense_flops).c_str());
+
+  // 3. Agent-driven pruning: fine-tune the transferred agent's heads on
+  //    this model's pruning environment, then deploy the best policy.
+  rl::PruningEnvConfig ecfg;
+  ecfg.flops_budget = 0.6;
+  rl::PruningEnv env(model, test, ecfg);
+  rl::PpoAgent agent = pre.agent.clone(17);
+  agent.set_finetune(true);
+  const auto hist = rl::train_on_pruning(agent, env, /*rounds=*/6,
+                                         /*episodes_per_round=*/3);
+  prune::apply_sparsities(model, hist.best_sparsities,
+                          prune::Criterion::kL2);
+  const double agent_acc = data::evaluate(model, test).accuracy;
+  const double agent_ratio =
+      prune::encoder_flops(model) / dense_flops;
+  std::printf("agent pruning : accuracy %.1f%% at %.0f%% of dense FLOPs\n",
+              agent_acc * 100.0, agent_ratio * 100.0);
+
+  // 4. L1 one-shot reference at matched sparsity.
+  model.reset_gates();
+  const double sparsity = prune::overall_sparsity(model) + 0.4;
+  common::Rng prng(7);
+  data::TrainOptions tune = topts;
+  tune.epochs = 0;
+  const auto l1 = prune::one_shot_prune_and_finetune(
+      model, train, test, prune::Criterion::kL1, sparsity,
+      /*finetune_epochs=*/0, tune, prng);
+  std::printf("l1 one-shot   : accuracy %.1f%% at %.0f%% of dense FLOPs\n",
+              l1.accuracy * 100.0, l1.flops_ratio * 100.0);
+  return 0;
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""ASCII plots for the bench CSVs (no third-party dependencies).
+
+Usage:
+    python3 scripts/plot_results.py bench_learning_efficiency.csv
+    python3 scripts/plot_results.py bench_ablation_gradctrl.csv
+
+Auto-detects the common schemas: any CSV with (series-key..., round, value)
+columns is rendered as one ASCII curve per series; plain row tables are
+pretty-printed.
+"""
+import csv
+import sys
+
+HEIGHT = 12
+WIDTH = 64
+
+# Column names that identify the x-axis and y-axis in the bench CSVs.
+X_CANDIDATES = ("round", "update_round", "clients")
+Y_CANDIDATES = ("avg_accuracy", "accuracy", "avg_reward", "round_wall_ms")
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        sys.exit(f"{path}: empty")
+    return rows
+
+
+def pick_axes(rows):
+    cols = rows[0].keys()
+    x = next((c for c in X_CANDIDATES if c in cols), None)
+    y = next((c for c in Y_CANDIDATES if c in cols), None)
+    return x, y
+
+
+def categorical_columns(rows, x, y):
+    """Columns that identify a series: non-axis columns whose values are
+    not all numeric (extra numeric measure columns are ignored)."""
+    cols = []
+    for c in rows[0].keys():
+        if c in (x, y):
+            continue
+        numeric = True
+        for r in rows:
+            try:
+                float(r[c])
+            except ValueError:
+                numeric = False
+                break
+        if not numeric:
+            cols.append(c)
+    return cols
+
+
+def series_key(row, key_cols):
+    return tuple(row[c] for c in key_cols)
+
+
+def ascii_plot(series, x_label, y_label):
+    all_pts = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    marks = "ox+*#@%&"
+    legend = []
+    for i, (key, pts) in enumerate(sorted(series.items())):
+        mark = marks[i % len(marks)]
+        legend.append(f"  {mark} {' / '.join(key)}")
+        for px, py in pts:
+            cx = int((px - x0) / (x1 - x0) * (WIDTH - 1))
+            cy = int((py - y0) / (y1 - y0) * (HEIGHT - 1))
+            grid[HEIGHT - 1 - cy][cx] = mark
+
+    print(f"{y_label} (range {y0:.3g} .. {y1:.3g})")
+    for line in grid:
+        print("|" + "".join(line))
+    print("+" + "-" * WIDTH)
+    print(f" {x_label}: {x0:.3g} .. {x1:.3g}")
+    print("\n".join(legend))
+
+
+def pretty_table(rows):
+    cols = list(rows[0].keys())
+    widths = [max(len(c), *(len(r[c]) for r in rows)) for c in cols]
+    print("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    for r in rows:
+        print("  ".join(r[c].ljust(w) for c, w in zip(cols, widths)))
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    rows = load(sys.argv[1])
+    x, y = pick_axes(rows)
+    if x is None or y is None:
+        pretty_table(rows)
+        return
+    key_cols = categorical_columns(rows, x, y)
+    series = {}
+    for row in rows:
+        try:
+            pt = (float(row[x]), float(row[y]))
+        except ValueError:
+            continue
+        series.setdefault(series_key(row, key_cols), []).append(pt)
+    ascii_plot(series, x, y)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+namespace spatl::common {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), num_columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != num_columns_) {
+    throw std::invalid_argument("CsvWriter: row has " +
+                                std::to_string(values.size()) +
+                                " cells, expected " +
+                                std::to_string(num_columns_));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(values[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  const bool needs_quotes =
+      s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace spatl::common

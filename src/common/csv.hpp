@@ -1,0 +1,50 @@
+// Minimal CSV writer used by every bench target to persist the rows/series
+// that back the paper's tables and figures.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace spatl::common {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row. Values are escaped per RFC 4180 when needed.
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience: mixed string/number row built with a stringstream per cell.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    row(cells);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  static std::string escape(const std::string& s);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t num_columns_;
+};
+
+}  // namespace spatl::common

@@ -1,0 +1,72 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+
+namespace spatl::common {
+
+Flags::Flags(int argc, char** argv, int start) {
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // Boolean-style flags may appear without a value when followed by
+    // another flag or the end of the line.
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      values_[arg] = "true";
+    } else {
+      values_[arg] = argv[++i];
+    }
+  }
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Flags::get_int(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void Flags::check_known(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace spatl::common

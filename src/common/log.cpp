@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace spatl::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mu;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now).count();
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "[%10.3f] %s %s\n", secs, level_name(level),
+               message.c_str());
+}
+
+}  // namespace spatl::common

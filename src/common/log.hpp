@@ -1,0 +1,46 @@
+// Leveled stderr logging. Benches lower the level to keep stdout (the
+// table/figure data) clean while still surfacing warnings.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spatl::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  log_message(LogLevel::kError, detail::concat(parts...));
+}
+
+}  // namespace spatl::common

@@ -1,0 +1,57 @@
+// parallel_for: the single parallelism entry point for compute kernels.
+//
+// Splits [begin, end) into contiguous chunks and runs them on the global
+// ThreadPool. `grain` bounds the smallest chunk so tiny loops stay serial
+// (thread hand-off costs more than the work below ~4k elements).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+
+namespace spatl::common {
+
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                  std::size_t grain = 4096) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t max_chunks = pool.size() + 1;
+  if (n <= grain || max_chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t num_chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  const std::size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  pool.run_chunks(num_chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// Range-chunked variant: fn(lo, hi) once per chunk — lets kernels hoist
+/// per-chunk setup out of the inner loop.
+template <typename Fn>
+void parallel_for_ranges(std::size_t begin, std::size_t end, Fn&& fn,
+                         std::size_t grain = 4096) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t max_chunks = pool.size() + 1;
+  if (n <= grain || max_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t num_chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  const std::size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  pool.run_chunks(num_chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace spatl::common

@@ -1,0 +1,97 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace spatl::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Batch* batch = nullptr;
+    std::size_t chunk = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (batch_ != nullptr && batch_->next < batch_->total);
+      });
+      if (stop_) return;
+      batch = batch_;
+      chunk = batch->next++;
+    }
+    std::exception_ptr err;
+    try {
+      (*batch->fn)(chunk);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !batch->error) batch->error = err;
+      if (++batch->done == batch->total) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t num_chunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty() || num_chunks == 1) {
+    for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+    return;
+  }
+  Batch batch;
+  batch.fn = &fn;
+  batch.total = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+  // The calling thread also drains chunks so the pool never idles the caller.
+  for (;;) {
+    std::size_t chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (batch.next >= batch.total) break;
+      chunk = batch.next++;
+    }
+    std::exception_ptr err;
+    try {
+      fn(chunk);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (err && !batch.error) batch.error = err;
+    ++batch.done;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&batch] { return batch.done == batch.total; });
+    batch_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max<std::size_t>(
+      1, std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+}  // namespace spatl::common

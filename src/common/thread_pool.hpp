@@ -1,0 +1,57 @@
+// Work-sharing thread pool backing `parallel_for`.
+//
+// A single process-wide pool (created lazily, sized to hardware concurrency)
+// is shared by all tensor kernels so that nested algorithm layers never
+// oversubscribe the machine. On a 1-core host the pool degrades to inline
+// serial execution with no thread hand-off.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spatl::common {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run `fn(chunk_index)` for chunk_index in [0, num_chunks) across the
+  /// pool, blocking until all chunks complete. Exceptions from chunks are
+  /// rethrown (first one wins) on the calling thread.
+  void run_chunks(std::size_t num_chunks,
+                  const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized to std::thread::hardware_concurrency().
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t next = 0;
+    std::size_t total = 0;
+    std::size_t done = 0;
+    std::exception_ptr error;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;  // guarded by mu_
+  bool stop_ = false;
+};
+
+}  // namespace spatl::common

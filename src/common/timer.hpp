@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch for coarse phase timing in benches.
+#pragma once
+
+#include <chrono>
+
+namespace spatl::common {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spatl::common

@@ -1,0 +1,41 @@
+// Human-readable formatting for byte counts and FLOPs, used when printing
+// the paper's tables (e.g. "2.1MB", "4.16GB", "40.6M FLOPs").
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace spatl::common {
+
+/// "1023B", "2.10MB", "4.16GB" — decimal units as in the paper's tables.
+inline std::string format_bytes(double bytes) {
+  char buf[32];
+  if (bytes < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  } else if (bytes < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB", bytes / 1e3);
+  } else if (bytes < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", bytes / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", bytes / 1e9);
+  }
+  return buf;
+}
+
+/// "123", "40.6M", "1.25G" — compact count formatting for FLOPs/params.
+inline std::string format_count(double count) {
+  char buf[32];
+  if (count < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f", count);
+  } else if (count < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", count / 1e3);
+  } else if (count < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", count / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fG", count / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace spatl::common

@@ -1,0 +1,305 @@
+#include "core/spatl.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "data/loader.hpp"
+#include "fl/flat_utils.hpp"
+#include "prune/flops.hpp"
+#include "prune/pipelines.hpp"
+
+namespace spatl::core {
+
+namespace {
+
+std::vector<nn::ParamView> shared_views(models::SplitModel& model,
+                                        bool transfer_learning) {
+  // Encoder views always come first so the control variates (encoder-sized)
+  // align with the leading positions of the shared flat vector.
+  return transfer_learning ? model.encoder_params() : model.all_params();
+}
+
+}  // namespace
+
+SpatlAlgorithm::SpatlAlgorithm(fl::FlEnvironment& env, fl::FlConfig config,
+                               SpatlOptions options,
+                               const rl::PpoAgent* pretrained_agent)
+    : fl::FederatedAlgorithm(env, std::move(config)),
+      options_(options) {
+  if (pretrained_agent != nullptr) {
+    pretrained_ = std::make_unique<rl::PpoAgent>(
+        pretrained_agent->clone(config_.seed ^ 0xA9E47ULL));
+    // On-device customization only tunes the MLP heads (paper §IV-B).
+    pretrained_->set_finetune(true);
+  }
+  clients_.resize(env_.num_clients());
+  server_control_.assign(nn::param_count(global_.encoder_params()), 0.0f);
+}
+
+SpatlClientState& SpatlAlgorithm::client_state(std::size_t client) {
+  if (client >= clients_.size()) {
+    throw std::out_of_range("SpatlAlgorithm: bad client id");
+  }
+  auto& slot = clients_[client];
+  if (!slot) {
+    slot = std::make_unique<SpatlClientState>();
+    // Fresh local predictor; the encoder is overwritten on first sync.
+    common::Rng init_rng(config_.seed ^ (0x9e3779b9ULL * (client + 1)));
+    slot->model = models::build_model(config_.model, init_rng);
+    slot->control.assign(server_control_.size(), 0.0f);
+    const std::uint64_t agent_seed =
+        config_.seed ^ (0xFACEULL * (client + 1));
+    if (pretrained_) {
+      slot->agent =
+          std::make_unique<rl::PpoAgent>(pretrained_->clone(agent_seed));
+    } else {
+      slot->agent = std::make_unique<rl::PpoAgent>(
+          std::size_t(graph::kNumNodeFeatures), options_.ppo, agent_seed);
+      slot->agent->set_finetune(false);  // no pretrained trunk to protect
+    }
+  }
+  return *slot;
+}
+
+models::SplitModel& SpatlAlgorithm::client_model(std::size_t client) {
+  return client_state(client).model;
+}
+
+void SpatlAlgorithm::sync_encoder_to_client(SpatlClientState& state) {
+  nn::unflatten_values(nn::flatten_values(global_.encoder_params()),
+                       state.model.encoder_params());
+  if (!options_.transfer_learning) {
+    nn::unflatten_values(nn::flatten_values(global_.predictor_params()),
+                         state.model.predictor_params());
+  }
+  state.model.reset_gates();
+}
+
+std::vector<std::uint8_t> SpatlAlgorithm::upload_mask(
+    models::SplitModel& model, std::size_t shared_dim) const {
+  std::vector<std::uint8_t> mask(shared_dim, 1);
+  auto views = shared_views(model, options_.transfer_learning);
+  // Flat offset of each view, in order.
+  std::size_t offset = 0;
+  for (const auto& v : views) {
+    for (const auto& binding : model.conv_bindings()) {
+      if (v.value != &binding.conv->weight()) continue;
+      const std::size_t out_ch = binding.conv->out_channels();
+      const std::size_t in_ch = binding.conv->in_channels();
+      const std::size_t kk = binding.conv->kernel() * binding.conv->kernel();
+      const auto* out_mask = binding.out_gate >= 0
+                                 ? &model.gates()[binding.out_gate]->mask()
+                                 : nullptr;
+      const auto* in_mask = binding.in_gate >= 0
+                                ? &model.gates()[binding.in_gate]->mask()
+                                : nullptr;
+      for (std::size_t o = 0; o < out_ch; ++o) {
+        const bool row_on = out_mask == nullptr || (*out_mask)[o];
+        for (std::size_t c = 0; c < in_ch; ++c) {
+          const bool col_on = in_mask == nullptr || (*in_mask)[c];
+          if (row_on && col_on) continue;
+          const std::size_t base = offset + (o * in_ch + c) * kk;
+          std::fill(mask.begin() + std::ptrdiff_t(base),
+                    mask.begin() + std::ptrdiff_t(base + kk), std::uint8_t{0});
+        }
+      }
+      break;
+    }
+    offset += v.value->numel();
+  }
+  return mask;
+}
+
+void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
+  ++round_;
+  auto global_shared = shared_views(global_, options_.transfer_learning);
+  const std::vector<float> w_global = nn::flatten_values(global_shared);
+  const std::size_t shared_dim = w_global.size();
+  const std::size_t enc_dim = server_control_.size();
+
+  std::vector<double> delta_sum(shared_dim, 0.0);
+  std::vector<std::uint32_t> count(shared_dim, 0);
+  std::vector<double> dc_sum(enc_dim, 0.0);
+
+  for (const std::size_t i : selected) {
+    SpatlClientState& state = client_state(i);
+    sync_encoder_to_client(state);
+    // Downlink: encoder (+ control variate) (+ predictor when transfer
+    // learning is ablated off and the whole model is shared).
+    ledger_.add_downlink_floats(enc_dim);
+    if (options_.gradient_control) ledger_.add_downlink_floats(enc_dim);
+    if (!options_.transfer_learning) {
+      ledger_.add_downlink_floats(shared_dim - enc_dim);
+    }
+
+    // Local update (eq. 3) with encoder-gradient correction (eq. 9).
+    data::GradHook hook;
+    if (options_.gradient_control) {
+      std::vector<float> correction(enc_dim);
+      for (std::size_t j = 0; j < enc_dim; ++j) {
+        correction[j] = server_control_[j] - state.control[j];
+      }
+      auto enc_views = state.model.encoder_params();
+      hook = [corr = std::move(correction),
+              enc_views](const std::vector<nn::ParamView>&) {
+        std::size_t off = 0;
+        for (const auto& v : enc_views) {
+          float* g = v.grad->data();
+          const std::size_t n = v.value->numel();
+          for (std::size_t j = 0; j < n; ++j) g[j] += corr[off + j];
+          off += n;
+        }
+      };
+    }
+    common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)) ^
+                           (round_ * 0x51ULL));
+    const auto stats =
+        data::train_supervised(state.model, env_.client(i).train,
+                               config_.local, client_rng,
+                               state.model.all_params(), hook);
+    ++state.participations;
+
+    // Control-variate update (eq. 10, option II).
+    std::vector<float> dc(enc_dim, 0.0f);
+    if (options_.gradient_control) {
+      const auto w_enc_i = nn::flatten_values(state.model.encoder_params());
+      // Momentum-SGD displacement scaling, as in the SCAFFOLD baseline.
+      const double eff_lr =
+          config_.local.lr / (1.0 - config_.local.momentum);
+      const double k_lr =
+          double(std::max<std::size_t>(1, stats.steps)) * eff_lr;
+      for (std::size_t j = 0; j < enc_dim; ++j) {
+        const float c_new =
+            state.control[j] - server_control_[j] +
+            float((w_global[j] - w_enc_i[j]) / k_lr);
+        dc[j] = c_new - state.control[j];
+        state.control[j] = c_new;
+      }
+    }
+
+    // Salient parameter selection (§IV-B): the agent evaluates the trained
+    // encoder and picks the sparsity policy; the gates realize it.
+    std::size_t selected_indices = 0;
+    if (options_.salient_selection) {
+      rl::PruningEnvConfig env_cfg;
+      env_cfg.flops_budget = options_.flops_budget;
+      env_cfg.criterion = options_.selection_criterion;
+      rl::PruningEnv prune_env(state.model, env_.client(i).val, env_cfg);
+      if (round_ <= options_.agent_finetune_rounds &&
+          options_.agent_finetune_episodes > 0) {
+        rl::train_on_pruning(*state.agent, prune_env, /*rounds=*/1,
+                             options_.agent_finetune_episodes);
+      }
+      const auto graph = prune_env.reset();
+      const auto actions = state.agent->act(graph, /*explore=*/false);
+      const auto sr = prune_env.step(actions);
+      state.last_flops_ratio = sr.flops_ratio;
+      state.last_sparsity = prune::overall_sparsity(state.model);
+      for (const auto* gate : state.model.gates()) {
+        for (auto m : gate->mask()) selected_indices += m;
+      }
+    } else {
+      state.model.reset_gates();
+      state.last_flops_ratio = 1.0;
+      state.last_sparsity = 0.0;
+    }
+
+    // Masked upload (eq. 12's (values, index) pairs).
+    const auto mask = upload_mask(state.model, shared_dim);
+    const auto w_i =
+        nn::flatten_values(shared_views(state.model,
+                                        options_.transfer_learning));
+    std::size_t uploaded = 0;
+    for (std::size_t j = 0; j < shared_dim; ++j) {
+      if (!mask[j]) continue;
+      delta_sum[j] += double(w_i[j]) - double(w_global[j]);
+      ++count[j];
+      ++uploaded;
+    }
+    std::size_t uploaded_control = 0;
+    if (options_.gradient_control) {
+      for (std::size_t j = 0; j < enc_dim; ++j) {
+        if (!mask[j]) continue;
+        dc_sum[j] += dc[j];
+        ++uploaded_control;
+      }
+    }
+    ledger_.add_uplink_floats(uploaded + uploaded_control);
+    ledger_.add_uplink_indices(selected_indices);
+  }
+
+  // Server: masked aggregation (eq. 12) ...
+  std::vector<float> w_new = w_global;
+  for (std::size_t j = 0; j < shared_dim; ++j) {
+    if (count[j] == 0) continue;
+    w_new[j] += float(options_.server_lr * delta_sum[j] / double(count[j]));
+  }
+  nn::unflatten_values(w_new, global_shared);
+  // ... and the control update (eq. 11): c += sum(dc)/N.
+  if (options_.gradient_control) {
+    const double inv_n = 1.0 / double(env_.num_clients());
+    for (std::size_t j = 0; j < enc_dim; ++j) {
+      server_control_[j] += float(dc_sum[j] * inv_n);
+    }
+  }
+}
+
+fl::EvalSummary SpatlAlgorithm::evaluate_clients() {
+  fl::EvalSummary summary;
+  for (std::size_t i = 0; i < env_.num_clients(); ++i) {
+    SpatlClientState& state = client_state(i);
+    sync_encoder_to_client(state);  // deploy the current shared encoder
+    const auto r = data::evaluate(state.model, env_.client(i).val);
+    summary.avg_accuracy += r.accuracy;
+    summary.avg_loss += r.loss;
+  }
+  const double n = double(env_.num_clients());
+  summary.avg_accuracy /= n;
+  summary.avg_loss /= n;
+  return summary;
+}
+
+std::vector<double> SpatlAlgorithm::per_client_accuracy() {
+  std::vector<double> acc(env_.num_clients(), 0.0);
+  for (std::size_t i = 0; i < env_.num_clients(); ++i) {
+    SpatlClientState& state = client_state(i);
+    sync_encoder_to_client(state);
+    acc[i] = data::evaluate(state.model, env_.client(i).val).accuracy;
+  }
+  return acc;
+}
+
+std::vector<double> SpatlAlgorithm::client_flops_ratios() const {
+  std::vector<double> out;
+  out.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    out.push_back(c ? c->last_flops_ratio : 1.0);
+  }
+  return out;
+}
+
+std::vector<double> SpatlAlgorithm::client_sparsities() const {
+  std::vector<double> out;
+  out.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    out.push_back(c ? c->last_sparsity : 0.0);
+  }
+  return out;
+}
+
+double SpatlAlgorithm::adapt_cold_client(std::size_t client,
+                                         std::size_t epochs) {
+  SpatlClientState& state = client_state(client);
+  sync_encoder_to_client(state);
+  ledger_.add_downlink_floats(server_control_.size());
+  data::TrainOptions opts = config_.local;
+  opts.epochs = epochs;
+  common::Rng rng(config_.seed ^ (0xC01DULL * (client + 1)));
+  // eq. 4: optimize the local predictor only; the encoder stays fixed.
+  data::train_supervised(state.model, env_.client(client).train, opts, rng,
+                         state.model.predictor_params());
+  return data::evaluate(state.model, env_.client(client).val).accuracy;
+}
+
+}  // namespace spatl::core

@@ -1,0 +1,70 @@
+#include "core/transfer.hpp"
+
+#include "data/loader.hpp"
+#include "data/synthetic.hpp"
+
+namespace spatl::core {
+
+double transfer_evaluate(models::SplitModel& source,
+                         const data::Dataset& transfer_train,
+                         const data::Dataset& transfer_test,
+                         std::size_t epochs, const data::TrainOptions& opts,
+                         common::Rng& rng, bool full_finetune) {
+  // Fresh model of the same architecture; encoder copied, predictor re-init.
+  models::SplitModel target = models::build_model(source.config(), rng);
+  nn::unflatten_values(nn::flatten_values(source.encoder_params()),
+                       target.encoder_params());
+  const auto& sbns = source.batch_norms();
+  const auto& tbns = target.batch_norms();
+  for (std::size_t i = 0; i < sbns.size(); ++i) {
+    tbns[i]->running_mean() = sbns[i]->running_mean();
+    tbns[i]->running_var() = sbns[i]->running_var();
+  }
+
+  data::TrainOptions tune = opts;
+  tune.epochs = epochs;
+  data::train_supervised(target, transfer_train, tune, rng,
+                         full_finetune ? target.all_params()
+                                       : target.predictor_params());
+  return data::evaluate(target, transfer_test).accuracy;
+}
+
+PretrainResult pretrain_selection_agent(const PretrainConfig& config) {
+  common::Rng rng(config.seed);
+
+  data::SyntheticConfig dcfg;
+  dcfg.num_samples = config.train_samples + config.val_samples;
+  dcfg.image_size = config.input_size;
+  dcfg.seed = config.seed ^ 0xDA7AULL;
+  const data::Dataset full = data::make_synth_cifar(dcfg);
+  const data::Dataset train = full.slice(0, config.train_samples);
+  const data::Dataset val =
+      full.slice(config.train_samples, full.size());
+
+  models::ModelConfig mcfg;
+  mcfg.arch = config.arch;
+  mcfg.input_size = config.input_size;
+  mcfg.width_mult = config.width_mult;
+  models::SplitModel model = models::build_model(mcfg, rng);
+
+  // Supervised warmup so pruning rewards reflect a non-trivial accuracy
+  // landscape (a random network rewards every policy equally).
+  data::TrainOptions topts;
+  topts.epochs = config.warmup_epochs;
+  topts.lr = 0.02;
+  data::train_supervised(model, train, topts, rng, model.all_params());
+
+  rl::PruningEnvConfig ecfg;
+  ecfg.flops_budget = config.flops_budget;
+  rl::PruningEnv env(model, val, ecfg);
+
+  PretrainResult result{
+      rl::PpoAgent(std::size_t(graph::kNumNodeFeatures), config.ppo,
+                   config.seed ^ 0xA6E47ULL),
+      {}};
+  result.history = rl::train_on_pruning(result.agent, env, config.rl_rounds,
+                                        config.episodes_per_round);
+  return result;
+}
+
+}  // namespace spatl::core

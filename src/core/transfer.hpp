@@ -1,0 +1,52 @@
+// Transfer-learning evaluation (paper §V-E, Table III) and agent
+// pre-training (§IV-B / §V-F4).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "data/train.hpp"
+#include "models/split_model.hpp"
+#include "rl/ppo.hpp"
+#include "rl/pruning_env.hpp"
+
+namespace spatl::core {
+
+struct TransferResult {
+  double accuracy = 0.0;       // on the held-out transfer test set
+  double baseline_accuracy = 0.0;  // same pipeline from a random encoder
+};
+
+/// Transfer a trained model's encoder to a new data portion: freeze the
+/// encoder, fit a fresh predictor on `transfer_train`, evaluate on
+/// `transfer_test`. `full_finetune` additionally unfreezes the encoder
+/// (regular transfer learning, as in the paper's Table III protocol).
+double transfer_evaluate(models::SplitModel& source,
+                         const data::Dataset& transfer_train,
+                         const data::Dataset& transfer_test,
+                         std::size_t epochs, const data::TrainOptions& opts,
+                         common::Rng& rng, bool full_finetune = false);
+
+struct PretrainConfig {
+  std::string arch = "resnet56";  // the paper pre-trains on ResNet-56
+  std::size_t input_size = 12;
+  double width_mult = 0.25;
+  std::size_t warmup_epochs = 2;   // supervised warmup before pruning search
+  std::size_t rl_rounds = 20;      // policy-update rounds
+  std::size_t episodes_per_round = 4;
+  double flops_budget = 0.6;
+  std::size_t train_samples = 600;
+  std::size_t val_samples = 200;
+  rl::PpoConfig ppo;
+  std::uint64_t seed = 1234;
+};
+
+struct PretrainResult {
+  rl::PpoAgent agent;
+  rl::RlTrainHistory history;
+};
+
+/// Pre-train a salient-parameter selection agent on the network-pruning
+/// task (the paper's §IV-B workflow): warm up a ResNet-56-style model on
+/// synthetic data, then run PPO against the pruning environment.
+PretrainResult pretrain_selection_agent(const PretrainConfig& config);
+
+}  // namespace spatl::core

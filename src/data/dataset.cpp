@@ -1,0 +1,68 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace spatl::data {
+
+Dataset::Dataset(Tensor images, std::vector<int> labels)
+    : images_(std::move(images)), labels_(std::move(labels)) {
+  if (images_.rank() != 4 || images_.dim(0) != labels_.size()) {
+    throw std::invalid_argument(
+        "Dataset: images must be (N,C,H,W) with N == labels.size()");
+  }
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  const std::size_t item = images_.numel() / std::max<std::size_t>(1, size());
+  Tensor imgs({indices.size(), channels(), height(), width()});
+  std::vector<int> labels(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= size()) throw std::out_of_range("Dataset::subset");
+    std::memcpy(imgs.data() + i * item, images_.data() + src * item,
+                item * sizeof(float));
+    labels[i] = labels_[src];
+  }
+  return Dataset(std::move(imgs), std::move(labels));
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > size()) throw std::out_of_range("Dataset::slice");
+  std::vector<std::size_t> idx(end - begin);
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = begin + i;
+  return subset(idx);
+}
+
+void Dataset::gather(const std::vector<std::size_t>& indices,
+                     std::size_t offset, std::size_t n, Tensor& batch_images,
+                     std::vector<int>& batch_labels) const {
+  const std::size_t item = images_.numel() / std::max<std::size_t>(1, size());
+  const tensor::Shape shape{n, channels(), height(), width()};
+  if (batch_images.shape() != shape) batch_images = Tensor(shape);
+  batch_labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = indices[offset + i];
+    std::memcpy(batch_images.data() + i * item, images_.data() + src * item,
+                item * sizeof(float));
+    batch_labels[i] = labels_[src];
+  }
+}
+
+std::size_t Dataset::num_classes() const {
+  int mx = -1;
+  for (int y : labels_) mx = std::max(mx, y);
+  return std::size_t(mx + 1);
+}
+
+std::vector<std::size_t> Dataset::label_histogram(
+    std::size_t num_classes) const {
+  std::vector<std::size_t> hist(num_classes, 0);
+  for (int y : labels_) {
+    if (y >= 0 && std::size_t(y) < num_classes) ++hist[std::size_t(y)];
+  }
+  return hist;
+}
+
+}  // namespace spatl::data

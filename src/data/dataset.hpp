@@ -1,0 +1,50 @@
+// In-memory labeled image dataset (NCHW float32 + integer labels).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace spatl::data {
+
+using tensor::Tensor;
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor images, std::vector<int> labels);
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  std::size_t channels() const { return images_.rank() == 4 ? images_.dim(1) : 0; }
+  std::size_t height() const { return images_.rank() == 4 ? images_.dim(2) : 0; }
+  std::size_t width() const { return images_.rank() == 4 ? images_.dim(3) : 0; }
+
+  const Tensor& images() const { return images_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Copy the rows at `indices` into a new dataset.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Copy rows [begin, end) into a new dataset.
+  Dataset slice(std::size_t begin, std::size_t end) const;
+
+  /// Materialize a batch: images (n, C, H, W) + labels for the rows at
+  /// `indices[offset .. offset+n)`.
+  void gather(const std::vector<std::size_t>& indices, std::size_t offset,
+              std::size_t n, Tensor& batch_images,
+              std::vector<int>& batch_labels) const;
+
+  /// Number of distinct labels (max label + 1).
+  std::size_t num_classes() const;
+
+  /// Histogram of labels (size = num_classes of the full label range).
+  std::vector<std::size_t> label_histogram(std::size_t num_classes) const;
+
+ private:
+  Tensor images_;  // (N, C, H, W)
+  std::vector<int> labels_;
+};
+
+}  // namespace spatl::data

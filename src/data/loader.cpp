@@ -1,0 +1,62 @@
+#include "data/loader.hpp"
+
+#include <numeric>
+
+#include "tensor/ops.hpp"
+
+namespace spatl::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size,
+                       common::Rng& rng, bool drop_last)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      drop_last_(drop_last),
+      order_(dataset.size()) {
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  rng_.shuffle(order_);
+}
+
+bool DataLoader::next(Tensor& images, std::vector<int>& labels) {
+  if (cursor_ >= order_.size()) return false;
+  std::size_t n = std::min(batch_size_, order_.size() - cursor_);
+  if (drop_last_ && n < batch_size_) return false;
+  dataset_.gather(order_, cursor_, n, images, labels);
+  cursor_ += n;
+  return true;
+}
+
+void DataLoader::reshuffle() {
+  rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  if (drop_last_) return order_.size() / batch_size_;
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+EvalResult evaluate(models::SplitModel& model, const Dataset& dataset,
+                    std::size_t batch_size) {
+  EvalResult result;
+  if (dataset.empty()) return result;
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Tensor images;
+  std::vector<int> labels;
+  double loss_sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t off = 0; off < order.size(); off += batch_size) {
+    const std::size_t n = std::min(batch_size, order.size() - off);
+    dataset.gather(order, off, n, images, labels);
+    const Tensor logits = model.forward(images, /*train=*/false);
+    loss_sum += double(tensor::cross_entropy(logits, labels)) * double(n);
+    hits += std::size_t(tensor::accuracy(logits, labels) * double(n) + 0.5);
+  }
+  result.samples = dataset.size();
+  result.loss = loss_sum / double(dataset.size());
+  result.accuracy = double(hits) / double(dataset.size());
+  return result;
+}
+
+}  // namespace spatl::data

@@ -1,0 +1,43 @@
+// Mini-batch iteration and model evaluation over Datasets.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "models/split_model.hpp"
+
+namespace spatl::data {
+
+/// Shuffled mini-batch iterator over a dataset (one pass = one epoch).
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::size_t batch_size, common::Rng& rng,
+             bool drop_last = false);
+
+  /// Fill the next batch; returns false at end of epoch. Call reshuffle()
+  /// to start a new epoch.
+  bool next(Tensor& images, std::vector<int>& labels);
+
+  void reshuffle();
+
+  std::size_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  common::Rng& rng_;
+  bool drop_last_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double loss = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Top-1 accuracy + mean cross-entropy loss over a dataset (eval mode).
+EvalResult evaluate(models::SplitModel& model, const Dataset& dataset,
+                    std::size_t batch_size = 64);
+
+}  // namespace spatl::data

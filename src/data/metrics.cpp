@@ -1,0 +1,100 @@
+#include "data/metrics.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace spatl::data {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0) {}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || std::size_t(truth) >= n_ || predicted < 0 ||
+      std::size_t(predicted) >= n_) {
+    throw std::out_of_range("ConfusionMatrix::add: label out of range");
+  }
+  ++cells_[std::size_t(truth) * n_ + std::size_t(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(const std::vector<int>& truths,
+                                const std::vector<int>& predictions) {
+  if (truths.size() != predictions.size()) {
+    throw std::invalid_argument("ConfusionMatrix::add_batch: size mismatch");
+  }
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    add(truths[i], predictions[i]);
+  }
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return cells_[std::size_t(truth) * n_ + std::size_t(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t c = 0; c < n_; ++c) hits += cells_[c * n_ + c];
+  return double(hits) / double(total_);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const std::size_t c = std::size_t(cls);
+  std::size_t row = 0;
+  for (std::size_t j = 0; j < n_; ++j) row += cells_[c * n_ + j];
+  return row == 0 ? 0.0 : double(cells_[c * n_ + c]) / double(row);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const std::size_t c = std::size_t(cls);
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < n_; ++i) col += cells_[i * n_ + c];
+  return col == 0 ? 0.0 : double(cells_[c * n_ + c]) / double(col);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    std::size_t row = 0;
+    for (std::size_t j = 0; j < n_; ++j) row += cells_[c * n_ + j];
+    if (row == 0) continue;
+    sum += f1(int(c));
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / double(present);
+}
+
+std::vector<double> ConfusionMatrix::per_class_accuracy() const {
+  std::vector<double> out(n_);
+  for (std::size_t c = 0; c < n_; ++c) out[c] = recall(int(c));
+  return out;
+}
+
+ConfusionMatrix evaluate_confusion(models::SplitModel& model,
+                                   const Dataset& dataset,
+                                   std::size_t batch_size) {
+  ConfusionMatrix cm(std::max(dataset.num_classes(),
+                              std::size_t(model.config().num_classes)));
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Tensor images;
+  std::vector<int> labels;
+  for (std::size_t off = 0; off < order.size(); off += batch_size) {
+    const std::size_t n = std::min(batch_size, order.size() - off);
+    dataset.gather(order, off, n, images, labels);
+    const Tensor logits = model.forward(images, /*train=*/false);
+    cm.add_batch(labels, tensor::argmax_rows(logits));
+  }
+  return cm;
+}
+
+}  // namespace spatl::data

@@ -1,0 +1,45 @@
+// Classification metrics beyond top-1 accuracy: confusion matrix,
+// per-class accuracy (recall), and macro-F1 — used to study how non-IID
+// training skews per-class behaviour across clients.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/split_model.hpp"
+
+namespace spatl::data {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int truth, int predicted);
+  void add_batch(const std::vector<int>& truths,
+                 const std::vector<int>& predictions);
+
+  std::size_t num_classes() const { return n_; }
+  std::size_t count(int truth, int predicted) const;
+  std::size_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Recall of one class (diagonal / row sum); 0 when the class is absent.
+  double recall(int cls) const;
+  double precision(int cls) const;
+  double f1(int cls) const;
+  /// Unweighted mean F1 over classes that appear in the truth labels.
+  double macro_f1() const;
+  std::vector<double> per_class_accuracy() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cells_;  // row = truth, col = predicted
+  std::size_t total_ = 0;
+};
+
+/// Evaluate a model into a confusion matrix.
+ConfusionMatrix evaluate_confusion(models::SplitModel& model,
+                                   const Dataset& dataset,
+                                   std::size_t batch_size = 64);
+
+}  // namespace spatl::data

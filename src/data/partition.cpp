@@ -1,0 +1,127 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spatl::data {
+
+PartitionResult dirichlet_partition(const Dataset& dataset,
+                                    std::size_t num_clients,
+                                    const DirichletOptions& opts,
+                                    common::Rng& rng) {
+  if (num_clients == 0) {
+    throw std::invalid_argument("dirichlet_partition: num_clients == 0");
+  }
+  const std::size_t num_classes = dataset.num_classes();
+  // Group sample indices by class once.
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[std::size_t(dataset.labels()[i])].push_back(i);
+  }
+
+  PartitionResult result;
+  for (std::size_t attempt = 0; attempt < opts.max_retries; ++attempt) {
+    result.client_indices.assign(num_clients, {});
+    for (std::size_t k = 0; k < num_classes; ++k) {
+      auto idx = by_class[k];
+      rng.shuffle(idx);
+      const auto props = rng.dirichlet(opts.beta, num_clients);
+      // Cumulative cut points over the class's samples.
+      std::size_t start = 0;
+      double cum = 0.0;
+      for (std::size_t c = 0; c < num_clients; ++c) {
+        cum += props[c];
+        const std::size_t end =
+            (c + 1 == num_clients)
+                ? idx.size()
+                : std::min(idx.size(),
+                           std::size_t(cum * double(idx.size()) + 0.5));
+        for (std::size_t i = start; i < end; ++i) {
+          result.client_indices[c].push_back(idx[i]);
+        }
+        start = std::max(start, end);
+      }
+    }
+    const auto min_size =
+        std::min_element(result.client_indices.begin(),
+                         result.client_indices.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.size() < b.size();
+                         })
+            ->size();
+    if (min_size >= opts.min_per_client) {
+      for (auto& ci : result.client_indices) rng.shuffle(ci);
+      return result;
+    }
+  }
+  throw std::runtime_error(
+      "dirichlet_partition: could not satisfy min_per_client; "
+      "increase samples or beta");
+}
+
+PartitionResult leaf_style_partition(const Dataset& dataset,
+                                     std::size_t num_clients,
+                                     const LeafStyleOptions& opts,
+                                     common::Rng& rng) {
+  if (num_clients == 0) {
+    throw std::invalid_argument("leaf_style_partition: num_clients == 0");
+  }
+  const std::size_t num_classes = dataset.num_classes();
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[std::size_t(dataset.labels()[i])].push_back(i);
+  }
+  for (auto& v : by_class) rng.shuffle(v);
+  std::vector<std::size_t> next_in_class(num_classes, 0);
+
+  // Each client draws a class-preference distribution; samples are assigned
+  // by repeatedly sampling a preferred class that still has spare samples.
+  std::vector<std::vector<double>> prefs(num_clients);
+  for (auto& p : prefs) p = rng.dirichlet(opts.class_preference_alpha,
+                                          num_classes);
+
+  PartitionResult result;
+  result.client_indices.assign(num_clients, {});
+  const std::size_t per_client = dataset.size() / num_clients;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    while (result.client_indices[c].size() < per_client) {
+      // Restrict to classes with remaining samples.
+      std::vector<double> w(num_classes, 0.0);
+      double total = 0.0;
+      for (std::size_t k = 0; k < num_classes; ++k) {
+        if (next_in_class[k] < by_class[k].size()) {
+          w[k] = prefs[c][k] + 1e-9;
+          total += w[k];
+        }
+      }
+      if (total <= 0.0) break;  // dataset exhausted
+      const std::size_t k = rng.categorical(w);
+      result.client_indices[c].push_back(by_class[k][next_in_class[k]++]);
+    }
+  }
+  for (auto& ci : result.client_indices) {
+    if (ci.size() < opts.min_per_client) {
+      throw std::runtime_error(
+          "leaf_style_partition: client below min_per_client");
+    }
+  }
+  return result;
+}
+
+TrainValSplit split_train_val(std::vector<std::size_t> indices,
+                              double val_fraction, common::Rng& rng) {
+  rng.shuffle(indices);
+  TrainValSplit out;
+  const std::size_t val_n =
+      std::max<std::size_t>(1, std::size_t(double(indices.size()) *
+                                           val_fraction));
+  if (val_n >= indices.size()) {
+    throw std::invalid_argument("split_train_val: validation would consume "
+                                "the whole client dataset");
+  }
+  out.val.assign(indices.end() - std::ptrdiff_t(val_n), indices.end());
+  out.train.assign(indices.begin(), indices.end() - std::ptrdiff_t(val_n));
+  return out;
+}
+
+}  // namespace spatl::data

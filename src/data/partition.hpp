@@ -1,0 +1,54 @@
+// Non-IID client partitions.
+//
+// DirichletPartitioner is the exact label-skew scheme of the Non-IID
+// benchmark (Li et al., ICDE'22) the paper evaluates on: for each class,
+// proportions over clients are drawn from Dir(beta) and the class's sample
+// indices are split accordingly, re-drawing until every client holds a
+// minimum number of samples. LeafStylePartitioner approximates LEAF's
+// per-writer skew for the FEMNIST stand-in: each client has its own
+// Dirichlet class preference.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace spatl::data {
+
+struct PartitionResult {
+  /// client -> indices into the source dataset.
+  std::vector<std::vector<std::size_t>> client_indices;
+};
+
+struct DirichletOptions {
+  double beta = 0.5;          // paper: Dir(0.5)
+  std::size_t min_per_client = 8;
+  std::size_t max_retries = 100;
+};
+
+PartitionResult dirichlet_partition(const Dataset& dataset,
+                                    std::size_t num_clients,
+                                    const DirichletOptions& opts,
+                                    common::Rng& rng);
+
+struct LeafStyleOptions {
+  double class_preference_alpha = 0.3;  // lower = stronger per-writer skew
+  std::size_t min_per_client = 8;
+};
+
+PartitionResult leaf_style_partition(const Dataset& dataset,
+                                     std::size_t num_clients,
+                                     const LeafStyleOptions& opts,
+                                     common::Rng& rng);
+
+/// Split one client's indices into train/validation (val_fraction at the
+/// end, after a shuffle).
+struct TrainValSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> val;
+};
+TrainValSplit split_train_val(std::vector<std::size_t> indices,
+                              double val_fraction, common::Rng& rng);
+
+}  // namespace spatl::data

@@ -1,0 +1,181 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace spatl::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// A prototype is a smooth random field per channel: a sum of a few random
+/// 2-D sinusoids. Smoothness matters — it gives conv filters real spatial
+/// structure to latch onto, unlike white noise.
+struct Prototype {
+  std::vector<float> pixels;  // (C, H, W)
+};
+
+/// Per-class spectral signature: the frequencies are drawn once per class
+/// and shared by all of its prototypes, so every prototype of a class has a
+/// common, learnable spatial-frequency identity even under the random phase
+/// and translation applied per sample.
+struct ClassSignature {
+  // [channel][component] -> (fx, fy)
+  std::vector<std::pair<double, double>> freqs;  // channels * components
+};
+
+constexpr int kComponents = 4;
+
+ClassSignature make_signature(const SyntheticConfig& cfg, common::Rng& rng) {
+  ClassSignature sig;
+  sig.freqs.reserve(cfg.channels * kComponents);
+  for (std::size_t i = 0; i < cfg.channels * kComponents; ++i) {
+    sig.freqs.emplace_back(rng.uniform(0.5, 3.0), rng.uniform(0.5, 3.0));
+  }
+  return sig;
+}
+
+Prototype make_prototype(const SyntheticConfig& cfg,
+                         const ClassSignature& sig, common::Rng& rng) {
+  Prototype proto;
+  proto.pixels.assign(cfg.channels * cfg.image_size * cfg.image_size, 0.0f);
+  const std::size_t hw = cfg.image_size * cfg.image_size;
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    for (int comp = 0; comp < kComponents; ++comp) {
+      const auto [fx, fy] = sig.freqs[c * kComponents + std::size_t(comp)];
+      const double phase = rng.uniform(0.0, 2.0 * kPi);
+      const double amp = rng.uniform(0.5, 1.0);
+      const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      for (std::size_t y = 0; y < cfg.image_size; ++y) {
+        for (std::size_t x = 0; x < cfg.image_size; ++x) {
+          const double u = double(x) / double(cfg.image_size);
+          const double v = double(y) / double(cfg.image_size);
+          proto.pixels[c * hw + y * cfg.image_size + x] += float(
+              sign * amp * std::sin(2.0 * kPi * (fx * u + fy * v) + phase));
+        }
+      }
+    }
+  }
+  // Normalize the prototype to zero mean / unit std so that classes differ
+  // by structure, not by overall brightness.
+  double mean = 0.0;
+  for (float v : proto.pixels) mean += v;
+  mean /= double(proto.pixels.size());
+  double var = 0.0;
+  for (float v : proto.pixels) var += (v - mean) * (v - mean);
+  var /= double(proto.pixels.size());
+  const float inv_std = float(1.0 / std::sqrt(var + 1e-8));
+  for (float& v : proto.pixels) v = (v - float(mean)) * inv_std;
+  return proto;
+}
+
+/// Stroke-like prototype for the FEMNIST stand-in: a few random line
+/// segments rendered with a soft Gaussian pen, on a dark background.
+Prototype make_stroke_prototype(const SyntheticConfig& cfg, common::Rng& rng) {
+  Prototype proto;
+  proto.pixels.assign(cfg.channels * cfg.image_size * cfg.image_size, 0.0f);
+  const std::size_t n = cfg.image_size;
+  const int num_strokes = int(rng.uniform_int(2, 4));
+  for (int s = 0; s < num_strokes; ++s) {
+    const double x0 = rng.uniform(0.1, 0.9) * double(n);
+    const double y0 = rng.uniform(0.1, 0.9) * double(n);
+    const double x1 = rng.uniform(0.1, 0.9) * double(n);
+    const double y1 = rng.uniform(0.1, 0.9) * double(n);
+    const double sigma = rng.uniform(0.6, 1.2);
+    const int steps = int(n) * 2;
+    for (int t = 0; t <= steps; ++t) {
+      const double a = double(t) / double(steps);
+      const double cx = x0 + a * (x1 - x0);
+      const double cy = y0 + a * (y1 - y0);
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) {
+          const double d2 = (double(x) - cx) * (double(x) - cx) +
+                            (double(y) - cy) * (double(y) - cy);
+          const float add = float(std::exp(-d2 / (2.0 * sigma * sigma)));
+          float& px = proto.pixels[y * n + x];
+          px = std::min(1.5f, px + 0.4f * add);
+        }
+      }
+    }
+  }
+  return proto;
+}
+
+Dataset generate(const SyntheticConfig& cfg, const std::vector<int>& labels,
+                 bool strokes) {
+  common::Rng proto_rng(cfg.seed);
+  std::vector<Prototype> protos;
+  protos.reserve(cfg.num_classes * cfg.prototypes_per_class);
+  for (std::size_t k = 0; k < cfg.num_classes; ++k) {
+    const ClassSignature sig = make_signature(cfg, proto_rng);
+    for (std::size_t p = 0; p < cfg.prototypes_per_class; ++p) {
+      protos.push_back(strokes ? make_stroke_prototype(cfg, proto_rng)
+                               : make_prototype(cfg, sig, proto_rng));
+    }
+  }
+
+  common::Rng sample_rng(cfg.seed ^ 0x5A5A5A5AULL);
+  const std::size_t hw = cfg.image_size * cfg.image_size;
+  const std::size_t item = cfg.channels * hw;
+  Tensor images({labels.size(), cfg.channels, cfg.image_size, cfg.image_size});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::size_t k = std::size_t(labels[i]);
+    const std::size_t p = sample_rng.uniform_index(cfg.prototypes_per_class);
+    const Prototype& proto = protos[k * cfg.prototypes_per_class + p];
+    const int dx = int(sample_rng.uniform_int(-cfg.max_shift, cfg.max_shift));
+    const int dy = int(sample_rng.uniform_int(-cfg.max_shift, cfg.max_shift));
+    const float gain =
+        1.0f + sample_rng.uniform_float(-cfg.brightness_jitter,
+                                        cfg.brightness_jitter);
+    float* dst = images.data() + i * item;
+    for (std::size_t c = 0; c < cfg.channels; ++c) {
+      for (std::size_t y = 0; y < cfg.image_size; ++y) {
+        for (std::size_t x = 0; x < cfg.image_size; ++x) {
+          // Toroidal shift keeps statistics stationary at the borders.
+          const std::size_t sy =
+              std::size_t((int(y) + dy + int(cfg.image_size)) %
+                          int(cfg.image_size));
+          const std::size_t sx =
+              std::size_t((int(x) + dx + int(cfg.image_size)) %
+                          int(cfg.image_size));
+          const float base = proto.pixels[c * hw + sy * cfg.image_size + sx];
+          dst[c * hw + y * cfg.image_size + x] =
+              gain * base +
+              sample_rng.normal_float(0.0f, cfg.noise_stddev);
+        }
+      }
+    }
+  }
+  return Dataset(std::move(images), labels);
+}
+
+std::vector<int> balanced_labels(const SyntheticConfig& cfg) {
+  std::vector<int> labels(cfg.num_samples);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = int(i % cfg.num_classes);
+  }
+  // Shuffle so class order carries no information downstream.
+  common::Rng rng(cfg.seed ^ 0xBEEF);
+  rng.shuffle(labels);
+  return labels;
+}
+
+}  // namespace
+
+Dataset make_synth_cifar(const SyntheticConfig& config) {
+  return generate(config, balanced_labels(config), /*strokes=*/false);
+}
+
+Dataset make_synth_femnist(SyntheticConfig config) {
+  config.channels = 1;
+  if (config.num_classes == 10) config.num_classes = 62;
+  return generate(config, balanced_labels(config), /*strokes=*/true);
+}
+
+Dataset make_synthetic_with_labels(const SyntheticConfig& config,
+                                   const std::vector<int>& labels) {
+  return generate(config, labels, config.channels == 1);
+}
+
+}  // namespace spatl::data

@@ -1,0 +1,40 @@
+#include "data/train.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace spatl::data {
+
+TrainStats train_supervised(models::SplitModel& model,
+                            const Dataset& train_set,
+                            const TrainOptions& opts, common::Rng& rng,
+                            const std::vector<nn::ParamView>& trainable,
+                            const GradHook& hook) {
+  TrainStats stats;
+  if (train_set.empty()) return stats;
+  nn::Sgd opt(trainable, {.lr = opts.lr,
+                          .momentum = opts.momentum,
+                          .weight_decay = opts.weight_decay});
+  DataLoader loader(train_set, opts.batch_size, rng);
+  Tensor images;
+  std::vector<int> labels;
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    if (epoch > 0) loader.reshuffle();
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    while (loader.next(images, labels)) {
+      model.zero_grad();
+      const Tensor logits = model.forward(images, /*train=*/true);
+      Tensor dlogits;
+      loss_sum += tensor::cross_entropy(logits, labels, &dlogits);
+      model.backward(dlogits);
+      if (hook) hook(trainable);
+      opt.step();
+      ++stats.steps;
+      ++batches;
+    }
+    if (batches > 0) stats.final_epoch_loss = loss_sum / double(batches);
+  }
+  return stats;
+}
+
+}  // namespace spatl::data

@@ -1,0 +1,44 @@
+// Supervised training loop shared by the FL client update, pruning
+// fine-tuning, and the RL environment's sub-network evaluation.
+//
+// The `GradHook` runs after backward and before the optimizer step each
+// mini-batch; FL algorithms use it to inject proximal terms (FedProx) and
+// control-variate corrections (SCAFFOLD / SPATL's gradient control).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/loader.hpp"
+#include "models/split_model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace spatl::data {
+
+struct TrainOptions {
+  std::size_t epochs = 1;
+  std::size_t batch_size = 32;
+  double lr = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+};
+
+using GradHook = std::function<void(const std::vector<nn::ParamView>&)>;
+
+struct TrainStats {
+  std::size_t steps = 0;       // optimizer steps taken
+  double final_epoch_loss = 0.0;  // mean loss over the last epoch
+};
+
+/// Train `model` on `train_set`, updating only the `trainable` views
+/// (pass model.all_params() for a full update, model.predictor_params() for
+/// SPATL's cold-client adaptation). Gradients are still computed through
+/// the whole network; freezing is purely an optimizer-scope decision.
+TrainStats train_supervised(models::SplitModel& model,
+                            const Dataset& train_set,
+                            const TrainOptions& opts, common::Rng& rng,
+                            const std::vector<nn::ParamView>& trainable,
+                            const GradHook& hook = nullptr);
+
+}  // namespace spatl::data

@@ -1,0 +1,231 @@
+#include "fl/algorithm.hpp"
+
+#include <stdexcept>
+
+#include "data/loader.hpp"
+#include "fl/flat_utils.hpp"
+
+namespace spatl::fl {
+
+FederatedAlgorithm::FederatedAlgorithm(FlEnvironment& env, FlConfig config)
+    : env_(env), config_(std::move(config)), rng_(config_.seed) {
+  global_ = models::build_model(config_.model, rng_);
+  // The worker shares the architecture; weights are overwritten every use.
+  common::Rng worker_rng(config_.seed ^ 0xF00DULL);
+  worker_ = models::build_model(config_.model, worker_rng);
+}
+
+void FederatedAlgorithm::load_global_into_worker() {
+  models::copy_full_state(global_, worker_);
+}
+
+EvalSummary FederatedAlgorithm::evaluate_clients() {
+  EvalSummary summary;
+  load_global_into_worker();
+  for (std::size_t i = 0; i < env_.num_clients(); ++i) {
+    const auto r = data::evaluate(worker_, env_.client(i).val);
+    summary.avg_accuracy += r.accuracy;
+    summary.avg_loss += r.loss;
+  }
+  const double n = double(env_.num_clients());
+  summary.avg_accuracy /= n;
+  summary.avg_loss /= n;
+  return summary;
+}
+
+std::vector<double> FederatedAlgorithm::per_client_accuracy() {
+  std::vector<double> acc(env_.num_clients(), 0.0);
+  load_global_into_worker();
+  for (std::size_t i = 0; i < env_.num_clients(); ++i) {
+    acc[i] = data::evaluate(worker_, env_.client(i).val).accuracy;
+  }
+  return acc;
+}
+
+namespace {
+
+/// Sample-count weights over the selected clients (FedAvg weighting).
+std::vector<double> client_weights(const FlEnvironment& env,
+                                   const std::vector<std::size_t>& selected) {
+  std::vector<double> w(selected.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    w[i] = double(env.client(selected[i]).train.size());
+    total += w[i];
+  }
+  if (total <= 0.0) throw std::logic_error("selected clients have no data");
+  for (auto& v : w) v /= total;
+  return w;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- FedAvg ----
+
+void FedAvg::run_round(const std::vector<std::size_t>& selected) {
+  auto views = global_.all_params();
+  const std::vector<float> w_global = nn::flatten_values(views);
+  std::vector<float> w_accum(w_global.size(), 0.0f);
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  const auto weights = client_weights(env_, selected);
+
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    const std::size_t i = selected[s];
+    load_global_into_worker();
+    ledger_.add_downlink_floats(w_global.size());
+    common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
+    data::train_supervised(worker_, env_.client(i).train, config_.local,
+                           client_rng, worker_.all_params());
+    ledger_.add_uplink_floats(w_global.size());
+    const auto w_i = nn::flatten_values(worker_.all_params());
+    axpy(w_accum, w_i, float(weights[s]));
+    axpy(bn_accum, flatten_bn_stats(worker_), float(weights[s]));
+  }
+  nn::unflatten_values(w_accum, views);
+  unflatten_bn_stats(bn_accum, global_);
+}
+
+// ------------------------------------------------------------- FedProx ----
+
+void FedProx::run_round(const std::vector<std::size_t>& selected) {
+  auto views = global_.all_params();
+  const std::vector<float> w_global = nn::flatten_values(views);
+  std::vector<float> w_accum(w_global.size(), 0.0f);
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  const auto weights = client_weights(env_, selected);
+
+  const auto hook = make_proximal_hook(w_global, config_.fedprox_mu);
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    const std::size_t i = selected[s];
+    load_global_into_worker();
+    ledger_.add_downlink_floats(w_global.size());
+    common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
+    data::train_supervised(worker_, env_.client(i).train, config_.local,
+                           client_rng, worker_.all_params(), hook);
+    ledger_.add_uplink_floats(w_global.size());
+    const auto w_i = nn::flatten_values(worker_.all_params());
+    axpy(w_accum, w_i, float(weights[s]));
+    axpy(bn_accum, flatten_bn_stats(worker_), float(weights[s]));
+  }
+  nn::unflatten_values(w_accum, views);
+  unflatten_bn_stats(bn_accum, global_);
+}
+
+// ------------------------------------------------------------- FedNova ----
+
+void FedNova::run_round(const std::vector<std::size_t>& selected) {
+  // Normalized averaging (Wang et al., NeurIPS'20): each client's update is
+  // divided by its local step count tau_i, then the server applies the
+  // effective step tau_eff = sum p_i tau_i.
+  auto views = global_.all_params();
+  const std::vector<float> w_global = nn::flatten_values(views);
+  std::vector<float> d_accum(w_global.size(), 0.0f);  // sum p_i * d_i
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  const auto weights = client_weights(env_, selected);
+  double tau_eff = 0.0;
+
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    const std::size_t i = selected[s];
+    load_global_into_worker();
+    ledger_.add_downlink_floats(w_global.size());
+    common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
+    const auto stats =
+        data::train_supervised(worker_, env_.client(i).train, config_.local,
+                               client_rng, worker_.all_params());
+    const double tau = double(std::max<std::size_t>(1, stats.steps));
+    // Uplink: normalized update + the a_i momentum-normalization state its
+    // reference implementation ships alongside (~2x FedAvg per round).
+    ledger_.add_uplink_floats(2 * w_global.size());
+    const auto w_i = nn::flatten_values(worker_.all_params());
+    for (std::size_t j = 0; j < w_i.size(); ++j) {
+      d_accum[j] += float(weights[s] / tau) * (w_global[j] - w_i[j]);
+    }
+    axpy(bn_accum, flatten_bn_stats(worker_), float(weights[s]));
+    tau_eff += weights[s] * tau;
+  }
+  std::vector<float> w_new = w_global;
+  axpy(w_new, d_accum, -float(tau_eff * config_.server_lr));
+  nn::unflatten_values(w_new, views);
+  unflatten_bn_stats(bn_accum, global_);
+}
+
+// ------------------------------------------------------------ SCAFFOLD ----
+
+Scaffold::Scaffold(FlEnvironment& env, FlConfig config)
+    : FederatedAlgorithm(env, std::move(config)) {
+  const std::size_t dim = nn::param_count(global_.all_params());
+  server_c_.assign(dim, 0.0f);
+  client_c_.assign(env_.num_clients(), {});
+}
+
+void Scaffold::run_round(const std::vector<std::size_t>& selected) {
+  auto views = global_.all_params();
+  const std::vector<float> w_global = nn::flatten_values(views);
+  std::vector<float> dw_accum(w_global.size(), 0.0f);
+  std::vector<float> dc_accum(w_global.size(), 0.0f);
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+
+  for (const std::size_t i : selected) {
+    auto& c_i = client_c_[i];
+    if (c_i.empty()) c_i.assign(w_global.size(), 0.0f);
+    load_global_into_worker();
+    // Downlink: weights + server control variate.
+    ledger_.add_downlink_floats(2 * w_global.size());
+
+    // Correction: g <- g - c_i + c  (eq. 9's drift term).
+    std::vector<float> correction(w_global.size());
+    for (std::size_t j = 0; j < correction.size(); ++j) {
+      correction[j] = server_c_[j] - c_i[j];
+    }
+    common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
+    const auto stats = data::train_supervised(
+        worker_, env_.client(i).train, config_.local, client_rng,
+        worker_.all_params(), make_correction_hook(std::move(correction)));
+    // Effective displacement per unit gradient: momentum-SGD moves
+    // ~lr/(1-m) per step at steady state, so the variate estimate must be
+    // scaled accordingly or it overshoots by 1/(1-m) and diverges.
+    const double eff_lr =
+        config_.local.lr / (1.0 - config_.local.momentum);
+    const double k_lr =
+        double(std::max<std::size_t>(1, stats.steps)) * eff_lr;
+
+    const auto w_i = nn::flatten_values(worker_.all_params());
+    // Option II of the SCAFFOLD paper (eq. 10 here):
+    // c_i+ = c_i - c + (w_global - w_i) / (K * lr)
+    for (std::size_t j = 0; j < w_global.size(); ++j) {
+      const float c_new = c_i[j] - server_c_[j] +
+                          float((w_global[j] - w_i[j]) / k_lr);
+      dc_accum[j] += c_new - c_i[j];
+      dw_accum[j] += w_i[j] - w_global[j];
+      c_i[j] = c_new;
+    }
+    axpy(bn_accum, flatten_bn_stats(worker_),
+         1.0f / float(selected.size()));
+    // Uplink: delta weights + delta control variate.
+    ledger_.add_uplink_floats(2 * w_global.size());
+  }
+
+  const float inv_s = 1.0f / float(selected.size());
+  std::vector<float> w_new = w_global;
+  axpy(w_new, dw_accum, inv_s * float(config_.server_lr));
+  nn::unflatten_values(w_new, views);
+  unflatten_bn_stats(bn_accum, global_);
+  // c <- c + |S|/N * mean(dc) = c + sum(dc)/N  (eq. 11)
+  axpy(server_c_, dc_accum, 1.0f / float(env_.num_clients()));
+}
+
+std::unique_ptr<FederatedAlgorithm> make_baseline(const std::string& name,
+                                                  FlEnvironment& env,
+                                                  FlConfig config) {
+  if (name == "fedavg") return std::make_unique<FedAvg>(env, std::move(config));
+  if (name == "fedprox")
+    return std::make_unique<FedProx>(env, std::move(config));
+  if (name == "fednova")
+    return std::make_unique<FedNova>(env, std::move(config));
+  if (name == "scaffold")
+    return std::make_unique<Scaffold>(env, std::move(config));
+  throw std::invalid_argument("make_baseline: unknown algorithm '" + name +
+                              "'");
+}
+
+}  // namespace spatl::fl

@@ -1,0 +1,110 @@
+// Federated optimization algorithms: FedAvg, FedProx, FedNova, SCAFFOLD.
+//
+// All four baselines share a global flat weight vector on the server and a
+// scratch worker model for local updates. Per-round communication is
+// metered through CommLedger; SCAFFOLD and FedNova pay the ~2x per-round
+// cost the paper reports because their control/normalization state travels
+// with the weights.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/train.hpp"
+#include "fl/comm.hpp"
+#include "fl/environment.hpp"
+#include "models/split_model.hpp"
+
+namespace spatl::fl {
+
+struct FlConfig {
+  models::ModelConfig model;
+  data::TrainOptions local;        // paper: 10 local epochs
+  double server_lr = 1.0;          // server-side step on aggregated updates
+  double fedprox_mu = 0.01;        // FedProx proximal coefficient
+  std::uint64_t seed = 42;
+};
+
+struct EvalSummary {
+  double avg_accuracy = 0.0;  // mean top-1 over clients' validation sets
+  double avg_loss = 0.0;
+};
+
+class FederatedAlgorithm {
+ public:
+  FederatedAlgorithm(FlEnvironment& env, FlConfig config);
+  virtual ~FederatedAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// One communication round over the given participating clients.
+  virtual void run_round(const std::vector<std::size_t>& selected) = 0;
+
+  /// Average validation accuracy of the deployed model across ALL clients
+  /// (the paper evaluates heterogeneous per-client performance; for the
+  /// uniform-model baselines this is the global model on each client's
+  /// validation set).
+  virtual EvalSummary evaluate_clients();
+
+  /// Per-client validation accuracy of the deployed model (Fig. local_acc).
+  virtual std::vector<double> per_client_accuracy();
+
+  CommLedger& ledger() { return ledger_; }
+  const CommLedger& ledger() const { return ledger_; }
+  FlEnvironment& environment() { return env_; }
+  const FlConfig& config() const { return config_; }
+  models::SplitModel& global_model() { return global_; }
+
+ protected:
+  /// Load global weights + BN stats into the worker model.
+  void load_global_into_worker();
+
+  FlEnvironment& env_;
+  FlConfig config_;
+  common::Rng rng_;
+  CommLedger ledger_;
+  models::SplitModel global_;
+  models::SplitModel worker_;
+};
+
+// ---------------------------------------------------------------------------
+
+class FedAvg : public FederatedAlgorithm {
+ public:
+  using FederatedAlgorithm::FederatedAlgorithm;
+  std::string name() const override { return "fedavg"; }
+  void run_round(const std::vector<std::size_t>& selected) override;
+};
+
+class FedProx : public FederatedAlgorithm {
+ public:
+  using FederatedAlgorithm::FederatedAlgorithm;
+  std::string name() const override { return "fedprox"; }
+  void run_round(const std::vector<std::size_t>& selected) override;
+};
+
+class FedNova : public FederatedAlgorithm {
+ public:
+  using FederatedAlgorithm::FederatedAlgorithm;
+  std::string name() const override { return "fednova"; }
+  void run_round(const std::vector<std::size_t>& selected) override;
+};
+
+class Scaffold : public FederatedAlgorithm {
+ public:
+  Scaffold(FlEnvironment& env, FlConfig config);
+  std::string name() const override { return "scaffold"; }
+  void run_round(const std::vector<std::size_t>& selected) override;
+
+ private:
+  std::vector<float> server_c_;
+  std::vector<std::vector<float>> client_c_;  // lazily sized per client
+};
+
+/// Factory over {"fedavg","fedprox","fednova","scaffold"}.
+std::unique_ptr<FederatedAlgorithm> make_baseline(const std::string& name,
+                                                  FlEnvironment& env,
+                                                  FlConfig config);
+
+}  // namespace spatl::fl

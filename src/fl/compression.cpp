@@ -1,0 +1,134 @@
+#include "fl/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "fl/flat_utils.hpp"
+
+namespace spatl::fl {
+
+std::string codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kNone: return "none";
+    case Codec::kTopK: return "topk";
+    case Codec::kInt8: return "int8";
+  }
+  return "?";
+}
+
+double CompressedUpdate::wire_bytes() const {
+  switch (codec) {
+    case Codec::kNone:
+      return 4.0 * double(dense.size());
+    case Codec::kTopK:
+      return 4.0 * double(indices.size()) + 4.0 * double(values.size());
+    case Codec::kInt8:
+      return double(qvalues.size()) + 4.0;  // payload + scale
+  }
+  return 0.0;
+}
+
+CompressedUpdate compress_update(std::span<const float> delta, Codec codec,
+                                 double topk_fraction) {
+  CompressedUpdate out;
+  out.codec = codec;
+  out.dim = delta.size();
+  switch (codec) {
+    case Codec::kNone:
+      out.dense.assign(delta.begin(), delta.end());
+      break;
+    case Codec::kTopK: {
+      if (topk_fraction <= 0.0 || topk_fraction > 1.0) {
+        throw std::invalid_argument("compress_update: bad topk fraction");
+      }
+      if (delta.empty()) break;
+      const std::size_t k = std::max<std::size_t>(
+          1, std::size_t(topk_fraction * double(delta.size())));
+      std::vector<std::uint32_t> order(delta.size());
+      std::iota(order.begin(), order.end(), 0u);
+      std::nth_element(order.begin(), order.begin() + std::ptrdiff_t(k) - 1,
+                       order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                         return std::fabs(delta[a]) > std::fabs(delta[b]);
+                       });
+      order.resize(k);
+      std::sort(order.begin(), order.end());
+      out.indices = std::move(order);
+      out.values.reserve(k);
+      for (auto i : out.indices) out.values.push_back(delta[i]);
+      break;
+    }
+    case Codec::kInt8: {
+      float max_abs = 0.0f;
+      for (float v : delta) max_abs = std::max(max_abs, std::fabs(v));
+      out.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+      out.qvalues.reserve(delta.size());
+      for (float v : delta) {
+        const float q = std::round(v / out.scale);
+        out.qvalues.push_back(
+            std::int8_t(std::clamp(q, -127.0f, 127.0f)));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<float> decompress_update(const CompressedUpdate& update) {
+  std::vector<float> out(update.dim, 0.0f);
+  switch (update.codec) {
+    case Codec::kNone:
+      out = update.dense;
+      break;
+    case Codec::kTopK:
+      for (std::size_t i = 0; i < update.indices.size(); ++i) {
+        out[update.indices[i]] = update.values[i];
+      }
+      break;
+    case Codec::kInt8:
+      for (std::size_t i = 0; i < update.qvalues.size(); ++i) {
+        out[i] = float(update.qvalues[i]) * update.scale;
+      }
+      break;
+  }
+  return out;
+}
+
+CompressedFedAvg::CompressedFedAvg(FlEnvironment& env, FlConfig config,
+                                   Codec codec, double topk_fraction)
+    : FederatedAlgorithm(env, std::move(config)),
+      codec_(codec),
+      topk_fraction_(topk_fraction) {}
+
+void CompressedFedAvg::run_round(const std::vector<std::size_t>& selected) {
+  auto views = global_.all_params();
+  const std::vector<float> w_global = nn::flatten_values(views);
+  std::vector<float> delta_accum(w_global.size(), 0.0f);
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+
+  const float inv_s = 1.0f / float(selected.size());
+  for (const std::size_t i : selected) {
+    load_global_into_worker();
+    ledger_.add_downlink_floats(w_global.size());
+    common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
+    data::train_supervised(worker_, env_.client(i).train, config_.local,
+                           client_rng, worker_.all_params());
+    const auto w_i = nn::flatten_values(worker_.all_params());
+    std::vector<float> delta(w_global.size());
+    for (std::size_t j = 0; j < delta.size(); ++j) {
+      delta[j] = w_i[j] - w_global[j];
+    }
+    const auto msg = compress_update(delta, codec_, topk_fraction_);
+    ledger_.add_uplink_bytes(msg.wire_bytes());
+    const auto decoded = decompress_update(msg);
+    axpy(delta_accum, decoded, inv_s);
+    axpy(bn_accum, flatten_bn_stats(worker_), inv_s);
+  }
+  std::vector<float> w_new = w_global;
+  axpy(w_new, delta_accum, float(config_.server_lr));
+  nn::unflatten_values(w_new, views);
+  unflatten_bn_stats(bn_accum, global_);
+}
+
+}  // namespace spatl::fl

@@ -1,0 +1,38 @@
+#include "fl/environment.hpp"
+
+namespace spatl::fl {
+
+FlEnvironment::FlEnvironment(const data::Dataset& source,
+                             std::size_t num_clients, double beta,
+                             double val_fraction, common::Rng& rng) {
+  data::DirichletOptions opts;
+  opts.beta = beta;
+  const auto partition = data::dirichlet_partition(source, num_clients, opts,
+                                                   rng);
+  build(source, partition, val_fraction, rng);
+}
+
+FlEnvironment::FlEnvironment(const data::Dataset& source,
+                             const data::PartitionResult& partition,
+                             double val_fraction, common::Rng& rng) {
+  build(source, partition, val_fraction, rng);
+}
+
+void FlEnvironment::build(const data::Dataset& source,
+                          const data::PartitionResult& partition,
+                          double val_fraction, common::Rng& rng) {
+  clients_.reserve(partition.client_indices.size());
+  for (const auto& indices : partition.client_indices) {
+    const auto split = data::split_train_val(indices, val_fraction, rng);
+    clients_.push_back(ClientData{source.subset(split.train),
+                                  source.subset(split.val)});
+  }
+}
+
+std::size_t FlEnvironment::total_train_samples() const {
+  std::size_t total = 0;
+  for (const auto& c : clients_) total += c.train.size();
+  return total;
+}
+
+}  // namespace spatl::fl

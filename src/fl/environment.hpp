@@ -1,0 +1,49 @@
+// The simulated federation: per-client non-IID train/validation datasets.
+//
+// Mirrors the Non-IID benchmark setup the paper evaluates on: a source
+// dataset is partitioned across clients (Dirichlet label skew), then each
+// client's shard is split into a local training set and a local validation
+// set; reported accuracy is the average top-1 over the clients' validation
+// sets (paper §V-B).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+
+namespace spatl::fl {
+
+struct ClientData {
+  data::Dataset train;
+  data::Dataset val;
+};
+
+class FlEnvironment {
+ public:
+  /// Partition `source` into `num_clients` shards with Dirichlet(beta) label
+  /// skew and carve out `val_fraction` of each shard for validation.
+  FlEnvironment(const data::Dataset& source, std::size_t num_clients,
+                double beta, double val_fraction, common::Rng& rng);
+
+  /// Build from a precomputed partition (used by the LEAF-style FEMNIST
+  /// setting and by tests).
+  FlEnvironment(const data::Dataset& source,
+                const data::PartitionResult& partition, double val_fraction,
+                common::Rng& rng);
+
+  std::size_t num_clients() const { return clients_.size(); }
+  const ClientData& client(std::size_t i) const { return clients_.at(i); }
+
+  std::size_t total_train_samples() const;
+
+ private:
+  void build(const data::Dataset& source,
+             const data::PartitionResult& partition, double val_fraction,
+             common::Rng& rng);
+
+  std::vector<ClientData> clients_;
+};
+
+}  // namespace spatl::fl

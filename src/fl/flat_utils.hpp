@@ -1,0 +1,33 @@
+// Flat-vector helpers shared by the FL algorithms.
+//
+// Every algorithm treats the model as one contiguous float vector (the
+// flatten order of ParamViews). Gradient hooks mutate gradients positionally
+// against anchors / control variates in the same order.
+#pragma once
+
+#include <vector>
+
+#include "data/train.hpp"
+#include "models/split_model.hpp"
+
+namespace spatl::fl {
+
+/// g += mu * (w - anchor): FedProx's proximal gradient term. `anchor` must
+/// match the flatten order/size of the hooked views.
+data::GradHook make_proximal_hook(std::vector<float> anchor, double mu);
+
+/// g += correction (positionally): SCAFFOLD / SPATL's control-variate
+/// correction c - c_i.
+data::GradHook make_correction_hook(std::vector<float> correction);
+
+/// a += scale * b elementwise (sizes must match).
+void axpy(std::vector<float>& a, const std::vector<float>& b, float scale);
+
+/// Flatten/restore batch-norm running statistics (mean then var, layer
+/// order). These are buffers, not parameters — baselines average them
+/// alongside weights; SPATL keeps them local.
+std::vector<float> flatten_bn_stats(const models::SplitModel& model);
+void unflatten_bn_stats(const std::vector<float>& flat,
+                        models::SplitModel& model);
+
+}  // namespace spatl::fl

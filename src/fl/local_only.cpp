@@ -1,0 +1,53 @@
+#include "fl/local_only.hpp"
+
+#include "data/loader.hpp"
+
+namespace spatl::fl {
+
+LocalOnly::LocalOnly(FlEnvironment& env, FlConfig config)
+    : FederatedAlgorithm(env, std::move(config)) {
+  clients_.resize(env_.num_clients());
+}
+
+models::SplitModel& LocalOnly::client_model(std::size_t i) {
+  auto& slot = clients_.at(i);
+  if (!slot) {
+    common::Rng init_rng(config_.seed ^ (0x10CA1ULL * (i + 1)));
+    slot = std::make_unique<models::SplitModel>(
+        models::build_model(config_.model, init_rng));
+  }
+  return *slot;
+}
+
+void LocalOnly::run_round(const std::vector<std::size_t>& selected) {
+  for (const std::size_t i : selected) {
+    common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
+    auto& model = client_model(i);
+    data::train_supervised(model, env_.client(i).train, config_.local,
+                           client_rng, model.all_params());
+    // No ledger activity: nothing is communicated, by definition.
+  }
+}
+
+EvalSummary LocalOnly::evaluate_clients() {
+  EvalSummary summary;
+  for (std::size_t i = 0; i < env_.num_clients(); ++i) {
+    const auto r = data::evaluate(client_model(i), env_.client(i).val);
+    summary.avg_accuracy += r.accuracy;
+    summary.avg_loss += r.loss;
+  }
+  const double n = double(env_.num_clients());
+  summary.avg_accuracy /= n;
+  summary.avg_loss /= n;
+  return summary;
+}
+
+std::vector<double> LocalOnly::per_client_accuracy() {
+  std::vector<double> acc(env_.num_clients());
+  for (std::size_t i = 0; i < env_.num_clients(); ++i) {
+    acc[i] = data::evaluate(client_model(i), env_.client(i).val).accuracy;
+  }
+  return acc;
+}
+
+}  // namespace spatl::fl

@@ -1,0 +1,31 @@
+// Local-only baseline: every client trains its own model and nothing is
+// ever communicated. The standard lower/upper reference in personalized-FL
+// evaluations — under strong non-IID skew it is surprisingly competitive on
+// local validation sets (each client overfits its own distribution), which
+// is exactly the effect SPATL's private predictors exploit while still
+// sharing a global encoder.
+#pragma once
+
+#include <vector>
+
+#include "fl/algorithm.hpp"
+
+namespace spatl::fl {
+
+class LocalOnly : public FederatedAlgorithm {
+ public:
+  LocalOnly(FlEnvironment& env, FlConfig config);
+
+  std::string name() const override { return "local-only"; }
+  void run_round(const std::vector<std::size_t>& selected) override;
+
+  /// Heterogeneous deployment: evaluation uses each client's own model.
+  EvalSummary evaluate_clients() override;
+  std::vector<double> per_client_accuracy() override;
+
+ private:
+  models::SplitModel& client_model(std::size_t i);
+  std::vector<std::unique_ptr<models::SplitModel>> clients_;
+};
+
+}  // namespace spatl::fl

@@ -1,0 +1,48 @@
+#include "fl/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace spatl::fl {
+
+RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
+                        const RoundCallback& callback) {
+  RunResult result;
+  common::Rng sampler(opts.sampling_seed);
+  const std::size_t num_clients = algo.environment().num_clients();
+  const std::size_t per_round = std::max<std::size_t>(
+      1, std::size_t(std::ceil(opts.sample_ratio * double(num_clients))));
+
+  for (std::size_t round = 1; round <= opts.rounds; ++round) {
+    const auto selected =
+        sampler.sample_without_replacement(num_clients, per_round);
+    algo.run_round(selected);
+
+    if (round % opts.eval_every == 0 || round == opts.rounds) {
+      const EvalSummary eval = algo.evaluate_clients();
+      RoundRecord rec;
+      rec.round = round;
+      rec.avg_accuracy = eval.avg_accuracy;
+      rec.avg_loss = eval.avg_loss;
+      rec.cumulative_bytes = algo.ledger().total_bytes();
+      result.history.push_back(rec);
+      result.final_accuracy = eval.avg_accuracy;
+      result.best_accuracy = std::max(result.best_accuracy,
+                                      eval.avg_accuracy);
+      if (callback) callback(round, rec);
+      common::log_debug(algo.name(), " round ", round, " acc ",
+                        eval.avg_accuracy);
+      if (opts.target_accuracy && !result.rounds_to_target &&
+          eval.avg_accuracy >= *opts.target_accuracy) {
+        result.rounds_to_target = round;
+        break;
+      }
+    }
+  }
+  result.total_bytes = algo.ledger().total_bytes();
+  return result;
+}
+
+}  // namespace spatl::fl

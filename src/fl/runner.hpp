@@ -1,0 +1,51 @@
+// Round-loop driver: client sampling, periodic evaluation, history capture.
+//
+// Produces exactly the series the paper's figures plot — accuracy vs round
+// and accuracy vs cumulative communicated bytes — plus stop-at-target
+// queries for the rounds-to-target-accuracy tables.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fl/algorithm.hpp"
+
+namespace spatl::fl {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double avg_accuracy = 0.0;
+  double avg_loss = 0.0;
+  double cumulative_bytes = 0.0;
+};
+
+struct RunOptions {
+  std::size_t rounds = 50;
+  double sample_ratio = 1.0;   // fraction of clients participating per round
+  std::size_t eval_every = 1;
+  /// Stop early once average accuracy reaches this value (Table I setting).
+  std::optional<double> target_accuracy;
+  std::uint64_t sampling_seed = 7;
+};
+
+struct RunResult {
+  std::vector<RoundRecord> history;
+  /// First round at which target_accuracy was reached (if it was).
+  std::optional<std::size_t> rounds_to_target;
+  double final_accuracy = 0.0;
+  double total_bytes = 0.0;
+  /// Highest evaluated accuracy across the run ("converge accuracy").
+  double best_accuracy = 0.0;
+};
+
+using RoundCallback =
+    std::function<void(std::size_t round, const RoundRecord&)>;
+
+/// Drive `algo` for opts.rounds rounds, sampling
+/// ceil(sample_ratio * num_clients) clients uniformly without replacement
+/// each round (the Non-IID benchmark's sampling scheme).
+RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
+                        const RoundCallback& callback = nullptr);
+
+}  // namespace spatl::fl

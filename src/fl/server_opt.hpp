@@ -1,0 +1,41 @@
+// Server-side adaptive optimization: FedAvgM and FedAdam (Reddi et al.,
+// "Adaptive Federated Optimization", the paper's reference [28]).
+//
+// Both treat the averaged client delta as a pseudo-gradient and run a
+// stateful optimizer on the server: momentum (FedAvgM) or Adam (FedAdam).
+// They complete the baseline family the paper positions SPATL against.
+#pragma once
+
+#include "fl/algorithm.hpp"
+
+namespace spatl::fl {
+
+enum class ServerOptimizer { kMomentum, kAdam };
+
+struct ServerOptConfig {
+  ServerOptimizer optimizer = ServerOptimizer::kMomentum;
+  double lr = 1.0;          // server learning rate on the pseudo-gradient
+  double momentum = 0.9;    // FedAvgM
+  double beta1 = 0.9;       // FedAdam
+  double beta2 = 0.99;
+  double eps = 1e-3;        // tau in the paper's notation
+};
+
+class ServerOptFedAvg : public FederatedAlgorithm {
+ public:
+  ServerOptFedAvg(FlEnvironment& env, FlConfig config, ServerOptConfig sopt);
+
+  std::string name() const override {
+    return sopt_.optimizer == ServerOptimizer::kMomentum ? "fedavgm"
+                                                         : "fedadam";
+  }
+  void run_round(const std::vector<std::size_t>& selected) override;
+
+ private:
+  ServerOptConfig sopt_;
+  std::vector<float> velocity_;  // momentum buffer / Adam m
+  std::vector<float> second_;    // Adam v
+  std::int64_t step_ = 0;
+};
+
+}  // namespace spatl::fl

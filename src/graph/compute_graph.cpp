@@ -1,0 +1,93 @@
+#include "graph/compute_graph.hpp"
+
+#include <cmath>
+
+#include "prune/flops.hpp"
+
+namespace spatl::graph {
+
+using models::LayerKind;
+
+ComputeGraph build_compute_graph(const models::SplitModel& model) {
+  const auto& layers = model.layers();
+  const auto keep = model.gate_keep_fractions();
+  const double dense_total =
+      std::max(1.0, prune::dense_encoder_flops(layers));
+
+  ComputeGraph g;
+  const std::size_t num_nodes = layers.size() + 1;  // +1 input node
+  g.node_features = tensor::Tensor({num_nodes, kNumNodeFeatures});
+  auto feat = [&](std::size_t node, NodeFeature f) -> float& {
+    return g.node_features[node * kNumNodeFeatures + f];
+  };
+
+  // Input node: describes the raw image map.
+  if (!layers.empty()) {
+    feat(0, kLogChannels) =
+        float(std::log2(double(layers[0].in_ch) + 1.0) / 10.0);
+    feat(0, kLogSpatial) = float(
+        std::log2(double(layers[0].in_h) * double(layers[0].in_w) + 1.0) /
+        10.0);
+    feat(0, kCurrentKeep) = 1.0f;
+  }
+
+  g.action_nodes.assign(model.gates().size(), -1);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& l = layers[i];
+    const std::size_t node = i + 1;
+    feat(node, kDepth) = float(double(i + 1) / double(layers.size()));
+    feat(node, kLogChannels) =
+        float(std::log2(double(l.out_ch) + 1.0) / 10.0);
+    feat(node, kLogSpatial) = float(
+        std::log2(double(l.out_h) * double(l.out_w) + 1.0) / 10.0);
+    switch (l.kind) {
+      case LayerKind::kConv:
+      case LayerKind::kDepthwiseConv: feat(node, kIsConv) = 1.0f; break;
+      case LayerKind::kBatchNorm: feat(node, kIsBatchNorm) = 1.0f; break;
+      case LayerKind::kReLU: feat(node, kIsReLU) = 1.0f; break;
+      case LayerKind::kMaxPool:
+      case LayerKind::kGlobalAvgPool: feat(node, kIsPool) = 1.0f; break;
+      case LayerKind::kAdd: feat(node, kIsAdd) = 1.0f; break;
+      case LayerKind::kLinear: break;  // encoders end before linear layers
+    }
+    feat(node, kKernel) = float(double(l.kernel) / 5.0);
+    feat(node, kStride) = float(double(l.stride) / 2.0);
+    feat(node, kFlopsShare) =
+        float(prune::dense_layer_flops(l) / dense_total);
+    const double k =
+        l.out_gate >= 0 ? keep[std::size_t(l.out_gate)] : 1.0;
+    feat(node, kCurrentKeep) = float(k);
+
+    // Sequential edge from the previous map.
+    g.edges.emplace_back(int(node) - 1, int(node));
+    // Residual skip edge: the Add also consumes the block's input map.
+    if (l.kind == LayerKind::kAdd && l.skip_from >= 0) {
+      g.edges.emplace_back(l.skip_from + 1, int(node));
+    }
+    if (l.out_gate >= 0) {
+      g.action_nodes[std::size_t(l.out_gate)] = int(node);
+    }
+  }
+  return g;
+}
+
+tensor::Tensor normalized_adjacency(const ComputeGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  tensor::Tensor a({n, n});
+  // Self-loops + symmetric edges.
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0f;
+  for (const auto& [src, dst] : graph.edges) {
+    a[std::size_t(src) * n + std::size_t(dst)] = 1.0f;
+    a[std::size_t(dst) * n + std::size_t(src)] = 1.0f;
+  }
+  // Row-normalize to mean aggregation.
+  for (std::size_t i = 0; i < n; ++i) {
+    float row_sum = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) row_sum += a[i * n + j];
+    const float inv = 1.0f / row_sum;
+    for (std::size_t j = 0; j < n; ++j) a[i * n + j] *= inv;
+  }
+  return a;
+}
+
+}  // namespace spatl::graph

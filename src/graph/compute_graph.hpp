@@ -1,0 +1,57 @@
+// Simplified computational-graph representation of an encoder (paper §IV-B1).
+//
+// Nodes are feature maps (one per recorded layer output, plus the input) and
+// edges are ML-level operations — conv, batch-norm, ReLU, pooling — with
+// residual Adds contributing extra skip edges. The graph is the RL agent's
+// environment state: a GNN embeds it and the actor head emits one sparsity
+// ratio per prunable (gated) conv node.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "models/split_model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace spatl::graph {
+
+/// Per-node feature layout fed to the GNN (all roughly unit-scaled).
+enum NodeFeature : std::size_t {
+  kDepth = 0,        // position / num_layers
+  kLogChannels,      // log2(out_ch) / 10
+  kLogSpatial,       // log2(out_h * out_w + 1) / 10
+  kIsConv,
+  kIsBatchNorm,
+  kIsReLU,
+  kIsPool,
+  kIsAdd,
+  kKernel,           // kernel / 5
+  kStride,           // stride / 2
+  kFlopsShare,       // this op's dense FLOPs / encoder dense FLOPs
+  kCurrentKeep,      // keep fraction of the node's out_gate (1 if ungated)
+  kNumNodeFeatures,
+};
+
+struct ComputeGraph {
+  /// (num_nodes, kNumNodeFeatures) feature matrix. Node 0 is the input map;
+  /// node i+1 corresponds to models layer i.
+  tensor::Tensor node_features;
+  /// Directed edges (src, dst) in forward direction; the GNN treats them
+  /// bidirectionally.
+  std::vector<std::pair<int, int>> edges;
+  /// action_nodes[g] = node index whose sparsity action controls gate g.
+  std::vector<int> action_nodes;
+
+  std::size_t num_nodes() const { return node_features.dim(0); }
+};
+
+/// Build the graph from a model's recorded layer structure and its current
+/// gate state. Deterministic: same model state -> same graph.
+ComputeGraph build_compute_graph(const models::SplitModel& model);
+
+/// Row-normalized adjacency (with self-loops) as a dense (N, N) matrix for
+/// mean-aggregation message passing. Dense is fine: encoder graphs have
+/// tens of nodes, not thousands.
+tensor::Tensor normalized_adjacency(const ComputeGraph& graph);
+
+}  // namespace spatl::graph

@@ -1,0 +1,85 @@
+#include "models/checkpoint.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace spatl::models {
+
+namespace {
+
+/// The architecture tag is stored as a pseudo-tensor of character codes so
+/// the checkpoint format stays a flat list of named tensors.
+tensor::NamedTensor make_tag(const std::string& arch) {
+  tensor::Tensor t({arch.size()});
+  for (std::size_t i = 0; i < arch.size(); ++i) {
+    t[i] = float(static_cast<unsigned char>(arch[i]));
+  }
+  return {"__arch__", std::move(t)};
+}
+
+std::string parse_tag(const tensor::Tensor& t) {
+  std::string arch(t.numel(), '\0');
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    arch[i] = char(static_cast<unsigned char>(t[i]));
+  }
+  return arch;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, SplitModel& model) {
+  std::vector<tensor::NamedTensor> entries;
+  entries.push_back(make_tag(model.config().arch));
+  for (const auto& p : model.all_params()) {
+    entries.push_back({p.name, *p.value});
+  }
+  const auto& bns = model.batch_norms();
+  for (std::size_t i = 0; i < bns.size(); ++i) {
+    entries.push_back({"__bn_mean__" + std::to_string(i),
+                       bns[i]->running_mean()});
+    entries.push_back({"__bn_var__" + std::to_string(i),
+                       bns[i]->running_var()});
+  }
+  tensor::save_tensors(path, entries);
+}
+
+void load_checkpoint(const std::string& path, SplitModel& model) {
+  const auto entries = tensor::load_tensors(path);
+  std::map<std::string, const tensor::Tensor*> by_name;
+  for (const auto& e : entries) by_name[e.name] = &e.value;
+
+  const auto tag = by_name.find("__arch__");
+  if (tag == by_name.end()) {
+    throw std::runtime_error("load_checkpoint: missing architecture tag");
+  }
+  if (parse_tag(*tag->second) != model.config().arch) {
+    throw std::runtime_error("load_checkpoint: checkpoint is for '" +
+                             parse_tag(*tag->second) + "', model is '" +
+                             model.config().arch + "'");
+  }
+  for (auto& p : model.all_params()) {
+    const auto it = by_name.find(p.name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("load_checkpoint: missing tensor " + p.name);
+    }
+    if (!it->second->same_shape(*p.value)) {
+      throw std::runtime_error("load_checkpoint: shape mismatch for " +
+                               p.name);
+    }
+    *p.value = *it->second;
+  }
+  const auto& bns = model.batch_norms();
+  for (std::size_t i = 0; i < bns.size(); ++i) {
+    const auto mean = by_name.find("__bn_mean__" + std::to_string(i));
+    const auto var = by_name.find("__bn_var__" + std::to_string(i));
+    if (mean == by_name.end() || var == by_name.end()) {
+      throw std::runtime_error("load_checkpoint: missing BN statistics");
+    }
+    bns[i]->running_mean() = *mean->second;
+    bns[i]->running_var() = *var->second;
+  }
+}
+
+}  // namespace spatl::models

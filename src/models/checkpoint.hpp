@@ -1,0 +1,19 @@
+// Model checkpointing on top of tensor serialization: parameters AND
+// batch-norm running statistics, loadable only into the same architecture.
+#pragma once
+
+#include <string>
+
+#include "models/split_model.hpp"
+
+namespace spatl::models {
+
+/// Save every parameter (by its qualified name) plus BN running statistics
+/// and an architecture tag.
+void save_checkpoint(const std::string& path, SplitModel& model);
+
+/// Restore a checkpoint into `model`. Throws std::runtime_error if the
+/// stored architecture tag or any tensor shape does not match.
+void load_checkpoint(const std::string& path, SplitModel& model);
+
+}  // namespace spatl::models

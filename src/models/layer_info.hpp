@@ -1,0 +1,44 @@
+// Structural description of an encoder, layer by layer.
+//
+// This is the "simplified computational graph" substrate of the paper
+// (§IV-B1): nodes are feature maps, edges are ML-level operations. The model
+// builders record one LayerInfo per operation while constructing the
+// network; spatl::graph turns the list into the GNN input graph and
+// spatl::prune walks it for FLOPs/param accounting under channel gates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spatl::models {
+
+enum class LayerKind {
+  kConv,
+  kDepthwiseConv,
+  kBatchNorm,
+  kReLU,
+  kMaxPool,
+  kGlobalAvgPool,
+  kLinear,
+  kAdd,  // residual join
+};
+
+std::string layer_kind_name(LayerKind kind);
+
+struct LayerInfo {
+  LayerKind kind = LayerKind::kConv;
+  std::size_t in_ch = 0, out_ch = 0;
+  std::size_t kernel = 0, stride = 1;
+  std::size_t in_h = 0, in_w = 0;
+  std::size_t out_h = 0, out_w = 0;
+  /// Gate index (into SplitModel::gates) masking this layer's OUTPUT
+  /// channels, or -1 if ungated.
+  int out_gate = -1;
+  /// Gate index masking this layer's INPUT channels, or -1.
+  int in_gate = -1;
+  /// For kAdd: index of the layer whose output is the skip operand.
+  int skip_from = -1;
+};
+
+}  // namespace spatl::models

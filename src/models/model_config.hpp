@@ -1,0 +1,48 @@
+// Model zoo configuration.
+//
+// Every architecture in the paper (VGG-11, ResNet-20/32, the pruning-task
+// ResNet-56/18, and LEAF's 2-layer CNN) is instantiated from a ModelConfig.
+// `input_size` and `width_mult` let benches run width/depth-faithful but
+// CPU-sized instances, while `full_scale()` recovers the paper's exact
+// parameter counts for byte accounting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace spatl::models {
+
+struct ModelConfig {
+  std::string arch = "resnet20";  // resnet20|resnet32|resnet56|resnet18|vgg11|cnn2
+  std::size_t input_size = 16;    // square input, pixels
+  std::size_t in_channels = 3;
+  std::size_t num_classes = 10;
+  double width_mult = 1.0;        // scales every channel count (min 4)
+  std::size_t predictor_hidden = 64;  // hidden width of the local predictor
+
+  /// The paper-scale instance of the same architecture (CIFAR: 32x32 RGB;
+  /// FEMNIST: 28x28 gray, 62 classes). Used for analytic full-scale
+  /// communication-byte accounting in Tables I and II.
+  ModelConfig full_scale() const {
+    ModelConfig c = *this;
+    c.width_mult = 1.0;
+    if (c.arch == "cnn2") {
+      c.input_size = 28;
+      c.in_channels = 1;
+      c.num_classes = 62;
+    } else {
+      c.input_size = 32;
+      c.in_channels = 3;
+      c.num_classes = 10;
+    }
+    return c;
+  }
+};
+
+/// Apply the width multiplier with a floor of 4 channels.
+std::size_t scaled_width(std::size_t base, double mult);
+
+/// True if `arch` names a known architecture.
+bool is_known_arch(const std::string& arch);
+
+}  // namespace spatl::models

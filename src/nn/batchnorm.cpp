@@ -1,0 +1,150 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace spatl::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}, 1.0f),
+      ggamma_({channels}),
+      beta_({channels}),
+      gbeta_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {}
+
+void BatchNorm2d::init_params(common::Rng& /*rng*/) {
+  gamma_.fill(1.0f);
+  beta_.zero();
+  running_mean_.zero();
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: expected (N," +
+                                std::to_string(channels_) + ",H,W)");
+  }
+  const std::size_t n = input.dim(0);
+  const std::size_t hw = input.dim(2) * input.dim(3);
+  const std::size_t count = n * hw;
+  Tensor out(input.shape());
+  cached_train_ = train;
+
+  if (train) {
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_.assign(channels_, 0.0f);
+    cached_count_ = count;
+    common::parallel_for(
+        0, channels_,
+        [&](std::size_t c) {
+          // Batch mean/variance for channel c.
+          double mean = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const float* plane = input.data() + (i * channels_ + c) * hw;
+            for (std::size_t p = 0; p < hw; ++p) mean += plane[p];
+          }
+          mean /= double(count);
+          double var = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const float* plane = input.data() + (i * channels_ + c) * hw;
+            for (std::size_t p = 0; p < hw; ++p) {
+              const double d = plane[p] - mean;
+              var += d * d;
+            }
+          }
+          var /= double(count);  // biased, matching framework convention
+          const float inv_std = 1.0f / std::sqrt(float(var) + eps_);
+          cached_inv_std_[c] = inv_std;
+          const float g = gamma_[c], b = beta_[c];
+          for (std::size_t i = 0; i < n; ++i) {
+            const float* plane = input.data() + (i * channels_ + c) * hw;
+            float* xhat = cached_xhat_.data() + (i * channels_ + c) * hw;
+            float* o = out.data() + (i * channels_ + c) * hw;
+            for (std::size_t p = 0; p < hw; ++p) {
+              xhat[p] = (plane[p] - float(mean)) * inv_std;
+              o[p] = g * xhat[p] + b;
+            }
+          }
+          running_mean_[c] =
+              (1.0f - momentum_) * running_mean_[c] + momentum_ * float(mean);
+          running_var_[c] =
+              (1.0f - momentum_) * running_var_[c] + momentum_ * float(var);
+        },
+        1);
+  } else {
+    common::parallel_for(
+        0, channels_,
+        [&](std::size_t c) {
+          const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+          const float g = gamma_[c], b = beta_[c];
+          const float mean = running_mean_[c];
+          for (std::size_t i = 0; i < n; ++i) {
+            const float* plane = input.data() + (i * channels_ + c) * hw;
+            float* o = out.data() + (i * channels_ + c) * hw;
+            for (std::size_t p = 0; p < hw; ++p) {
+              o[p] = g * (plane[p] - mean) * inv_std + b;
+            }
+          }
+        },
+        1);
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (!cached_train_) {
+    throw std::logic_error("BatchNorm2d::backward requires a train forward");
+  }
+  const std::size_t n = grad_output.dim(0);
+  const std::size_t hw = grad_output.dim(2) * grad_output.dim(3);
+  const std::size_t count = cached_count_;
+  Tensor dx(grad_output.shape());
+  common::parallel_for(
+      0, channels_,
+      [&](std::size_t c) {
+        // Standard batch-norm adjoint:
+        // dxhat = dy * gamma
+        // dx = inv_std/m * (m*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const float* gy = grad_output.data() + (i * channels_ + c) * hw;
+          const float* xh = cached_xhat_.data() + (i * channels_ + c) * hw;
+          for (std::size_t p = 0; p < hw; ++p) {
+            sum_dy += gy[p];
+            sum_dy_xhat += double(gy[p]) * xh[p];
+          }
+        }
+        ggamma_[c] += float(sum_dy_xhat);
+        gbeta_[c] += float(sum_dy);
+        const float g = gamma_[c];
+        const float inv_std = cached_inv_std_[c];
+        const float inv_m = 1.0f / float(count);
+        for (std::size_t i = 0; i < n; ++i) {
+          const float* gy = grad_output.data() + (i * channels_ + c) * hw;
+          const float* xh = cached_xhat_.data() + (i * channels_ + c) * hw;
+          float* d = dx.data() + (i * channels_ + c) * hw;
+          for (std::size_t p = 0; p < hw; ++p) {
+            const float dxhat = gy[p] * g;
+            d[p] = inv_std *
+                   (dxhat - inv_m * (float(sum_dy) * g +
+                                     xh[p] * float(sum_dy_xhat) * g));
+          }
+        }
+      },
+      1);
+  return dx;
+}
+
+void BatchNorm2d::collect_params(const std::string& prefix,
+                                 std::vector<ParamView>& out) {
+  out.push_back({prefix + "gamma", &gamma_, &ggamma_});
+  out.push_back({prefix + "beta", &beta_, &gbeta_});
+}
+
+}  // namespace spatl::nn

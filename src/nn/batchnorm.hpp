@@ -1,0 +1,40 @@
+// BatchNorm2d with running statistics for eval mode.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace spatl::nn {
+
+/// Per-channel batch normalization over (N, C, H, W). Train mode normalizes
+/// with batch statistics and updates exponential running stats; eval mode
+/// uses the running stats. Gamma/beta are learnable.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamView>& out) override;
+  void init_params(common::Rng& rng) override;
+  std::string type_name() const override { return "BatchNorm2d"; }
+
+  std::size_t channels() const { return channels_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_, eps_;
+  Tensor gamma_, ggamma_;
+  Tensor beta_, gbeta_;
+  Tensor running_mean_, running_var_;
+  // Caches for backward (train-mode forward only).
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  std::size_t cached_count_ = 0;  // N*H*W per channel
+  bool cached_train_ = false;
+};
+
+}  // namespace spatl::nn

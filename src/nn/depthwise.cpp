@@ -1,0 +1,117 @@
+#include "nn/depthwise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace spatl::nn {
+
+DepthwiseConv2d::DepthwiseConv2d(std::size_t channels, std::size_t kernel,
+                                 std::size_t stride, std::size_t pad)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      w_({channels, kernel * kernel}),
+      gw_({channels, kernel * kernel}) {}
+
+void DepthwiseConv2d::init_params(common::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / float(kernel_ * kernel_));
+  for (auto& v : w_.storage()) v = rng.normal_float(0.0f, stddev);
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& input, bool /*train*/) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("DepthwiseConv2d: expected (N," +
+                                std::to_string(channels_) + ",H,W)");
+  }
+  cached_input_ = input;
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = (h + 2 * pad_ - kernel_) / stride_ + 1;
+  const std::size_t ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
+  Tensor out({n, channels_, oh, ow});
+  const float* in = input.data();
+  float* o = out.data();
+  common::parallel_for(
+      0, n * channels_,
+      [&](std::size_t plane) {
+        const std::size_t c = plane % channels_;
+        const float* src = in + plane * h * w;
+        const float* filt = w_.data() + c * kernel_ * kernel_;
+        float* dst = o + plane * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            double acc = 0.0;
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  std::ptrdiff_t(oy * stride_ + ky) - std::ptrdiff_t(pad_);
+              if (iy < 0 || iy >= std::ptrdiff_t(h)) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    std::ptrdiff_t(ox * stride_ + kx) - std::ptrdiff_t(pad_);
+                if (ix < 0 || ix >= std::ptrdiff_t(w)) continue;
+                acc += double(filt[ky * kernel_ + kx]) *
+                       src[std::size_t(iy) * w + std::size_t(ix)];
+              }
+            }
+            dst[oy * ow + ox] = float(acc);
+          }
+        }
+      },
+      1);
+  return out;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
+  const std::size_t n = cached_input_.dim(0);
+  const std::size_t h = cached_input_.dim(2), w = cached_input_.dim(3);
+  const std::size_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  Tensor dx(cached_input_.shape());
+  const float* in = cached_input_.data();
+  const float* go = grad_output.data();
+  float* dxp = dx.data();
+  // Parallelize over channels: each channel owns its filter gradient, and
+  // input-gradient planes are channel-disjoint, so the loop is race-free.
+  common::parallel_for(
+      0, channels_,
+      [&](std::size_t c) {
+        const float* filt = w_.data() + c * kernel_ * kernel_;
+        float* gfilt = gw_.data() + c * kernel_ * kernel_;
+        for (std::size_t img = 0; img < n; ++img) {
+          const std::size_t plane = img * channels_ + c;
+          const float* src = in + plane * h * w;
+          const float* g = go + plane * oh * ow;
+          float* d = dxp + plane * h * w;
+          for (std::size_t oy = 0; oy < oh; ++oy) {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              const float gv = g[oy * ow + ox];
+              if (gv == 0.0f) continue;
+              for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                const std::ptrdiff_t iy =
+                    std::ptrdiff_t(oy * stride_ + ky) - std::ptrdiff_t(pad_);
+                if (iy < 0 || iy >= std::ptrdiff_t(h)) continue;
+                for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                  const std::ptrdiff_t ix = std::ptrdiff_t(ox * stride_ + kx) -
+                                            std::ptrdiff_t(pad_);
+                  if (ix < 0 || ix >= std::ptrdiff_t(w)) continue;
+                  const std::size_t src_idx =
+                      std::size_t(iy) * w + std::size_t(ix);
+                  gfilt[ky * kernel_ + kx] += gv * src[src_idx];
+                  d[src_idx] += gv * filt[ky * kernel_ + kx];
+                }
+              }
+            }
+          }
+        }
+      },
+      1);
+  return dx;
+}
+
+void DepthwiseConv2d::collect_params(const std::string& prefix,
+                                     std::vector<ParamView>& out) {
+  out.push_back({prefix + "weight", &w_, &gw_});
+}
+
+}  // namespace spatl::nn

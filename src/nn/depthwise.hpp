@@ -1,0 +1,33 @@
+// Depthwise 2-D convolution: each input channel is convolved with its own
+// k x k filter (groups == channels). The building block of the
+// MobileNet-style edge models the paper's motivation section targets.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace spatl::nn {
+
+class DepthwiseConv2d : public Module {
+ public:
+  DepthwiseConv2d(std::size_t channels, std::size_t kernel,
+                  std::size_t stride = 1, std::size_t pad = 1);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamView>& out) override;
+  void init_params(common::Rng& rng) override;
+  std::string type_name() const override { return "DepthwiseConv2d"; }
+
+  std::size_t channels() const { return channels_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+  Tensor& weight() { return w_; }
+
+ private:
+  std::size_t channels_, kernel_, stride_, pad_;
+  Tensor w_, gw_;  // (channels, k*k)
+  Tensor cached_input_;
+};
+
+}  // namespace spatl::nn

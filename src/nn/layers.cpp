@@ -1,0 +1,187 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace spatl::nn {
+
+// ------------------------------------------------------------- Linear ----
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      w_({out_features, in_features}),
+      gw_({out_features, in_features}),
+      b_(bias ? Tensor({out_features}) : Tensor()),
+      gb_(bias ? Tensor({out_features}) : Tensor()) {}
+
+void Linear::init_params(common::Rng& rng) {
+  // He-uniform: suitable for the ReLU trunks used throughout.
+  const float bound = std::sqrt(6.0f / float(in_));
+  for (auto& v : w_.storage()) v = rng.uniform_float(-bound, bound);
+  if (has_bias_) b_.zero();
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Linear: expected (N," + std::to_string(in_) +
+                                "), got " + tensor::shape_to_string(input.shape()));
+  }
+  cached_input_ = input;
+  Tensor out;
+  tensor::matmul_nt(input, w_, out);  // (N,in) x (out,in)^T
+  if (has_bias_) {
+    const std::size_t n = out.dim(0);
+    float* p = out.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < out_; ++j) p[i * out_ + j] += b_[j];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  // dW += dY^T X ; db += colsum(dY) ; dX = dY W
+  Tensor dw;
+  tensor::matmul_tn(grad_output, cached_input_, dw);  // (out,in)
+  gw_ += dw;
+  if (has_bias_) {
+    const std::size_t n = grad_output.dim(0);
+    const float* g = grad_output.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < out_; ++j) gb_[j] += g[i * out_ + j];
+    }
+  }
+  Tensor dx;
+  tensor::matmul(grad_output, w_, dx);  // (N,out) x (out,in)
+  return dx;
+}
+
+void Linear::collect_params(const std::string& prefix,
+                            std::vector<ParamView>& out) {
+  out.push_back({prefix + "weight", &w_, &gw_});
+  if (has_bias_) out.push_back({prefix + "bias", &b_, &gb_});
+}
+
+// --------------------------------------------------------------- ReLU ----
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.storage()) v = std::max(v, 0.0f);
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor dx = grad_output;
+  const float* x = cached_input_.data();
+  float* g = dx.data();
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------ Flatten ----
+
+Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+  cached_shape_ = input.shape();
+  const std::size_t n = input.dim(0);
+  return input.reshaped({n, input.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+// ------------------------------------------------------------ Dropout ----
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0f || p >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0,1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || p_ == 0.0f) {
+    mask_.clear();
+    return input;
+  }
+  mask_.resize(input.numel());
+  const float scale = 1.0f / (1.0f - p_);
+  Tensor out = input;
+  float* v = out.data();
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    mask_[i] = rng_.bernoulli(p_) ? 0.0f : scale;
+    v[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;
+  Tensor dx = grad_output;
+  float* g = dx.data();
+  for (std::size_t i = 0; i < mask_.size(); ++i) g[i] *= mask_[i];
+  return dx;
+}
+
+// -------------------------------------------------------- ChannelGate ----
+
+ChannelGate::ChannelGate(std::size_t channels) : mask_(channels, 1) {}
+
+double ChannelGate::keep_fraction() const {
+  if (mask_.empty()) return 1.0;
+  std::size_t kept = 0;
+  for (auto m : mask_) kept += m;
+  return double(kept) / double(mask_.size());
+}
+
+void ChannelGate::set_mask(std::vector<std::uint8_t> mask) {
+  if (mask.size() != mask_.size()) {
+    throw std::invalid_argument("ChannelGate: mask size mismatch");
+  }
+  mask_ = std::move(mask);
+}
+
+Tensor ChannelGate::forward(const Tensor& input, bool /*train*/) {
+  if (input.rank() != 4 || input.dim(1) != mask_.size()) {
+    throw std::invalid_argument("ChannelGate: expected (N," +
+                                std::to_string(mask_.size()) + ",H,W)");
+  }
+  Tensor out = input;
+  const std::size_t n = input.dim(0), c = input.dim(1);
+  const std::size_t hw = input.dim(2) * input.dim(3);
+  float* p = out.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      if (!mask_[ch]) {
+        float* row = p + (i * c + ch) * hw;
+        std::fill(row, row + hw, 0.0f);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ChannelGate::backward(const Tensor& grad_output) {
+  Tensor dx = grad_output;
+  const std::size_t n = dx.dim(0), c = dx.dim(1);
+  const std::size_t hw = dx.dim(2) * dx.dim(3);
+  float* p = dx.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      if (!mask_[ch]) {
+        float* row = p + (i * c + ch) * hw;
+        std::fill(row, row + hw, 0.0f);
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace spatl::nn

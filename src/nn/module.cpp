@@ -1,0 +1,56 @@
+#include "nn/module.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace spatl::nn {
+
+std::size_t param_count(const std::vector<ParamView>& views) {
+  std::size_t n = 0;
+  for (const auto& v : views) n += v.value->numel();
+  return n;
+}
+
+std::vector<float> flatten_values(const std::vector<ParamView>& views) {
+  std::vector<float> flat;
+  flat.reserve(param_count(views));
+  for (const auto& v : views) {
+    const auto s = v.value->span();
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  return flat;
+}
+
+std::vector<float> flatten_grads(const std::vector<ParamView>& views) {
+  std::vector<float> flat;
+  flat.reserve(param_count(views));
+  for (const auto& v : views) {
+    const auto s = v.grad->span();
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  return flat;
+}
+
+void unflatten_values(const std::vector<float>& flat,
+                      const std::vector<ParamView>& views) {
+  if (flat.size() != param_count(views)) {
+    throw std::invalid_argument("unflatten_values: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (const auto& v : views) {
+    const std::size_t n = v.value->numel();
+    std::memcpy(v.value->data(), flat.data() + offset, n * sizeof(float));
+    offset += n;
+  }
+}
+
+std::vector<ParamView> filter_by_prefix(const std::vector<ParamView>& views,
+                                        const std::string& prefix) {
+  std::vector<ParamView> out;
+  for (const auto& v : views) {
+    if (v.name.rfind(prefix, 0) == 0) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace spatl::nn

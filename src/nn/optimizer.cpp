@@ -1,0 +1,72 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace spatl::nn {
+
+Sgd::Sgd(std::vector<ParamView> params, SgdOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(p.value->numel(), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value->data();
+    const float* g = params_[i].grad->data();
+    float* v = velocity_[i].data();
+    const std::size_t n = params_[i].value->numel();
+    const float lr = float(opts_.lr);
+    const float mu = float(opts_.momentum);
+    const float wd = float(opts_.weight_decay);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      v[j] = mu * v[j] + grad;
+      w[j] -= lr * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p.grad->zero();
+}
+
+Adam::Adam(std::vector<ParamView> params, AdamOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->numel(), 0.0f);
+    v_.emplace_back(p.value->numel(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(opts_.beta1, double(t_));
+  const double bias2 = 1.0 - std::pow(opts_.beta2, double(t_));
+  const float lr_t = float(opts_.lr * std::sqrt(bias2) / bias1);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value->data();
+    const float* g = params_[i].grad->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::size_t n = params_[i].value->numel();
+    const float b1 = float(opts_.beta1), b2 = float(opts_.beta2);
+    const float eps = float(opts_.eps), wd = float(opts_.weight_decay);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.grad->zero();
+}
+
+}  // namespace spatl::nn

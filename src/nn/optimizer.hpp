@@ -1,0 +1,70 @@
+// Optimizers over ParamViews: SGD (momentum + weight decay) and Adam.
+//
+// Optimizers bind to an explicit view list, so FL code can build one
+// optimizer over the encoder views and another over the predictor views
+// (SPATL's eq. 4 predictor-only adaptation is just an optimizer over the
+// predictor subset).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace spatl::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update step from the currently-accumulated gradients.
+  virtual void step() = 0;
+  virtual void zero_grad() = 0;
+  virtual double learning_rate() const = 0;
+  virtual void set_learning_rate(double lr) = 0;
+};
+
+struct SgdOptions {
+  double lr = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParamView> params, SgdOptions opts);
+
+  void step() override;
+  void zero_grad() override;
+  double learning_rate() const override { return opts_.lr; }
+  void set_learning_rate(double lr) override { opts_.lr = lr; }
+
+ private:
+  std::vector<ParamView> params_;
+  SgdOptions opts_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParamView> params, AdamOptions opts);
+
+  void step() override;
+  void zero_grad() override;
+  double learning_rate() const override { return opts_.lr; }
+  void set_learning_rate(double lr) override { opts_.lr = lr; }
+
+ private:
+  std::vector<ParamView> params_;
+  AdamOptions opts_;
+  std::vector<std::vector<float>> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace spatl::nn

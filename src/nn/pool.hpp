@@ -1,0 +1,36 @@
+// Pooling layers: MaxPool2d and global average pooling.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace spatl::nn {
+
+/// Max pooling over square windows. Caches argmax positions for backward.
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::size_t kernel, std::size_t stride = 0);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t kernel_, stride_;
+  tensor::Shape cached_in_shape_;
+  std::vector<std::uint32_t> argmax_;  // flat input index per output element
+};
+
+/// (N, C, H, W) -> (N, C): mean over the spatial dimensions.
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "GlobalAvgPool"; }
+
+ private:
+  tensor::Shape cached_in_shape_;
+};
+
+}  // namespace spatl::nn

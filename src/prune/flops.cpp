@@ -1,0 +1,112 @@
+#include "prune/flops.hpp"
+
+#include <stdexcept>
+
+namespace spatl::prune {
+
+using models::LayerInfo;
+using models::LayerKind;
+
+namespace {
+
+double keep_of(const std::vector<double>& gate_keep, int gate) {
+  if (gate < 0) return 1.0;
+  if (std::size_t(gate) >= gate_keep.size()) {
+    throw std::out_of_range("gate index outside keep vector");
+  }
+  return gate_keep[std::size_t(gate)];
+}
+
+double layer_flops(const LayerInfo& l, double keep_in, double keep_out) {
+  const double out_hw = double(l.out_h) * double(l.out_w);
+  switch (l.kind) {
+    case LayerKind::kConv:
+      // 2 * k^2 * Cin_eff * Cout_eff * H_out * W_out (MAC = 2 FLOPs)
+      return 2.0 * double(l.kernel) * double(l.kernel) *
+             double(l.in_ch) * keep_in * double(l.out_ch) * keep_out * out_hw;
+    case LayerKind::kDepthwiseConv:
+      // One k^2 filter per (kept) channel.
+      return 2.0 * double(l.kernel) * double(l.kernel) * double(l.in_ch) *
+             keep_in * out_hw;
+    case LayerKind::kBatchNorm:
+      // scale + shift per element
+      return 2.0 * double(l.out_ch) * keep_out * out_hw;
+    case LayerKind::kReLU:
+      return double(l.out_ch) * keep_out * out_hw;
+    case LayerKind::kMaxPool:
+      return double(l.kernel) * double(l.kernel) * double(l.out_ch) *
+             keep_out * out_hw;
+    case LayerKind::kGlobalAvgPool:
+      return double(l.in_ch) * keep_in * double(l.in_h) * double(l.in_w);
+    case LayerKind::kLinear:
+      return 2.0 * double(l.in_ch) * keep_in * double(l.out_ch) * keep_out;
+    case LayerKind::kAdd:
+      return double(l.out_ch) * keep_out * out_hw;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double dense_layer_flops(const LayerInfo& layer) {
+  return layer_flops(layer, 1.0, 1.0);
+}
+
+double dense_encoder_flops(const std::vector<LayerInfo>& layers) {
+  double total = 0.0;
+  for (const auto& l : layers) total += dense_layer_flops(l);
+  return total;
+}
+
+double gated_encoder_flops(const std::vector<LayerInfo>& layers,
+                           const std::vector<double>& gate_keep) {
+  double total = 0.0;
+  for (const auto& l : layers) {
+    total += layer_flops(l, keep_of(gate_keep, l.in_gate),
+                         keep_of(gate_keep, l.out_gate));
+  }
+  return total;
+}
+
+double encoder_flops(const models::SplitModel& model) {
+  return gated_encoder_flops(model.layers(), model.gate_keep_fractions());
+}
+
+namespace {
+
+double layer_weight_params(const LayerInfo& l, double keep_in,
+                           double keep_out) {
+  switch (l.kind) {
+    case LayerKind::kConv:
+      return double(l.kernel) * double(l.kernel) * double(l.in_ch) * keep_in *
+             double(l.out_ch) * keep_out;
+    case LayerKind::kDepthwiseConv:
+      return double(l.kernel) * double(l.kernel) * double(l.in_ch) * keep_in;
+    case LayerKind::kLinear:
+      return double(l.in_ch) * keep_in * double(l.out_ch) * keep_out;
+    case LayerKind::kBatchNorm:
+      return 2.0 * double(l.out_ch) * keep_out;  // gamma + beta
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+double dense_encoder_weight_params(const std::vector<LayerInfo>& layers) {
+  double total = 0.0;
+  for (const auto& l : layers) total += layer_weight_params(l, 1.0, 1.0);
+  return total;
+}
+
+double gated_encoder_weight_params(const std::vector<LayerInfo>& layers,
+                                   const std::vector<double>& gate_keep) {
+  double total = 0.0;
+  for (const auto& l : layers) {
+    total += layer_weight_params(l, keep_of(gate_keep, l.in_gate),
+                                 keep_of(gate_keep, l.out_gate));
+  }
+  return total;
+}
+
+}  // namespace spatl::prune

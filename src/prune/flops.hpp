@@ -1,0 +1,38 @@
+// Analytic FLOPs and parameter accounting over a model's LayerInfo record,
+// with and without channel gates.
+//
+// The paper reports inference acceleration as FLOPs reduction (§V-D) rather
+// than wall-clock, precisely because FLOPs are platform-independent; we
+// follow the same convention (multiply-accumulate = 2 FLOPs).
+#pragma once
+
+#include <vector>
+
+#include "models/split_model.hpp"
+
+namespace spatl::prune {
+
+/// Dense FLOPs of a single layer (no gating).
+double dense_layer_flops(const models::LayerInfo& layer);
+
+/// Dense FLOPs of the whole encoder.
+double dense_encoder_flops(const std::vector<models::LayerInfo>& layers);
+
+/// Effective FLOPs under per-gate keep fractions: a conv's cost scales by
+/// keep(in_gate) * keep(out_gate); BN/ReLU/pool scale by keep(out channels'
+/// gate) when gated.
+double gated_encoder_flops(const std::vector<models::LayerInfo>& layers,
+                           const std::vector<double>& gate_keep);
+
+/// Effective FLOPs of `model` with its gates' *current* masks.
+double encoder_flops(const models::SplitModel& model);
+
+/// Parameter-count analogues (conv/linear weights only — what gets
+/// communicated).
+double dense_encoder_weight_params(
+    const std::vector<models::LayerInfo>& layers);
+double gated_encoder_weight_params(
+    const std::vector<models::LayerInfo>& layers,
+    const std::vector<double>& gate_keep);
+
+}  // namespace spatl::prune

@@ -1,0 +1,79 @@
+#include "prune/pipelines.hpp"
+
+#include "data/loader.hpp"
+#include "prune/flops.hpp"
+
+namespace spatl::prune {
+
+double overall_sparsity(const models::SplitModel& model) {
+  std::size_t total = 0, kept = 0;
+  for (const auto* gate : model.gates()) {
+    total += gate->channels();
+    for (auto m : gate->mask()) kept += m;
+  }
+  if (total == 0) return 0.0;
+  return 1.0 - double(kept) / double(total);
+}
+
+namespace {
+
+PruneEvalResult finish(models::SplitModel& model,
+                       const data::Dataset& eval_set) {
+  PruneEvalResult result;
+  result.accuracy = data::evaluate(model, eval_set).accuracy;
+  result.flops_ratio =
+      encoder_flops(model) / dense_encoder_flops(model.layers());
+  result.sparsity = overall_sparsity(model);
+  return result;
+}
+
+}  // namespace
+
+PruneEvalResult one_shot_prune_and_finetune(
+    models::SplitModel& model, const data::Dataset& train_set,
+    const data::Dataset& eval_set, Criterion criterion, double sparsity,
+    std::size_t finetune_epochs, const data::TrainOptions& opts,
+    common::Rng& rng) {
+  apply_uniform_sparsity(model, sparsity, criterion, rng.next());
+  if (finetune_epochs > 0) {
+    data::TrainOptions tune = opts;
+    tune.epochs = finetune_epochs;
+    data::train_supervised(model, train_set, tune, rng, model.all_params());
+  }
+  return finish(model, eval_set);
+}
+
+PruneEvalResult sfp_train(models::SplitModel& model,
+                          const data::Dataset& train_set,
+                          const data::Dataset& eval_set, double sparsity,
+                          std::size_t epochs, const data::TrainOptions& opts,
+                          common::Rng& rng) {
+  data::TrainOptions one_epoch = opts;
+  one_epoch.epochs = 1;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Soft phase: gates stay open so every filter keeps receiving gradient.
+    model.reset_gates();
+    data::train_supervised(model, train_set, one_epoch, rng,
+                           model.all_params());
+    // Zero (but do not freeze) the lowest-norm channels of each gated conv.
+    const auto& convs = model.gate_convs();
+    for (std::size_t g = 0; g < convs.size(); ++g) {
+      nn::Tensor& w = convs[g]->weight();
+      const std::size_t channels = w.dim(0), cols = w.dim(1);
+      const std::size_t keep = std::max<std::size_t>(
+          1, std::size_t(std::ceil((1.0 - sparsity) * double(channels))));
+      const auto mask =
+          top_k_mask(channel_scores(w, Criterion::kL2), keep);
+      for (std::size_t c = 0; c < channels; ++c) {
+        if (!mask[c]) {
+          for (std::size_t j = 0; j < cols; ++j) w[c * cols + j] = 0.0f;
+        }
+      }
+    }
+  }
+  // Hard phase: mask what is currently lowest-norm and evaluate.
+  apply_uniform_sparsity(model, sparsity, Criterion::kL2, rng.next());
+  return finish(model, eval_set);
+}
+
+}  // namespace spatl::prune

@@ -1,0 +1,42 @@
+// One-shot and soft pruning pipelines — the Table IV baselines.
+//
+// - one_shot_prune_and_finetune: classic magnitude/FPGM pruning — score,
+//   mask, fine-tune the surviving weights.
+// - sfp_train: Soft Filter Pruning (He et al., IJCAI'18) — after every
+//   epoch, the lowest-norm filters are zeroed but stay trainable, so
+//   "pruned" filters can recover; a hard mask is applied at the end.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "data/train.hpp"
+#include "prune/saliency.hpp"
+
+namespace spatl::prune {
+
+struct PruneEvalResult {
+  double accuracy = 0.0;         // top-1 on eval set after pruning (+tuning)
+  double flops_ratio = 1.0;      // gated / dense encoder FLOPs
+  double sparsity = 0.0;         // pruned fraction of gated channels
+};
+
+/// Apply `criterion` at uniform `sparsity`, then fine-tune all surviving
+/// parameters for `finetune_epochs`, then evaluate.
+PruneEvalResult one_shot_prune_and_finetune(
+    models::SplitModel& model, const data::Dataset& train_set,
+    const data::Dataset& eval_set, Criterion criterion, double sparsity,
+    std::size_t finetune_epochs, const data::TrainOptions& opts,
+    common::Rng& rng);
+
+/// Soft Filter Pruning: train `epochs` epochs; after each epoch zero the
+/// lowest-L2 channels at `sparsity` (weights remain trainable). Ends with a
+/// hard mask + evaluation.
+PruneEvalResult sfp_train(models::SplitModel& model,
+                          const data::Dataset& train_set,
+                          const data::Dataset& eval_set, double sparsity,
+                          std::size_t epochs, const data::TrainOptions& opts,
+                          common::Rng& rng);
+
+/// Fraction of gated channels currently masked off across the model.
+double overall_sparsity(const models::SplitModel& model);
+
+}  // namespace spatl::prune

@@ -1,0 +1,170 @@
+#include "prune/saliency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "prune/flops.hpp"
+
+namespace spatl::prune {
+
+std::string criterion_name(Criterion c) {
+  switch (c) {
+    case Criterion::kL1: return "l1";
+    case Criterion::kL2: return "l2";
+    case Criterion::kGeometricMedian: return "fpgm";
+    case Criterion::kRandom: return "random";
+    case Criterion::kUpdateMagnitude: return "update";
+  }
+  return "?";
+}
+
+std::vector<double> channel_scores(const nn::Tensor& weight, Criterion c,
+                                   const nn::Tensor* reference,
+                                   std::uint64_t seed) {
+  if (weight.rank() != 2) {
+    throw std::invalid_argument("channel_scores: weight must be (out, in*k*k)");
+  }
+  const std::size_t out = weight.dim(0), cols = weight.dim(1);
+  std::vector<double> scores(out, 0.0);
+  switch (c) {
+    case Criterion::kL1:
+      for (std::size_t o = 0; o < out; ++o) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+          s += std::fabs(weight[o * cols + j]);
+        }
+        scores[o] = s;
+      }
+      break;
+    case Criterion::kL2:
+      for (std::size_t o = 0; o < out; ++o) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+          const double v = weight[o * cols + j];
+          s += v * v;
+        }
+        scores[o] = std::sqrt(s);
+      }
+      break;
+    case Criterion::kGeometricMedian: {
+      // FPGM prunes filters with the smallest total distance to all other
+      // filters (i.e. closest to the geometric median -> most redundant).
+      // Salience = sum of pairwise distances.
+      for (std::size_t a = 0; a < out; ++a) {
+        double total = 0.0;
+        for (std::size_t b = 0; b < out; ++b) {
+          if (a == b) continue;
+          double d = 0.0;
+          for (std::size_t j = 0; j < cols; ++j) {
+            const double diff = weight[a * cols + j] - weight[b * cols + j];
+            d += diff * diff;
+          }
+          total += std::sqrt(d);
+        }
+        scores[a] = total;
+      }
+      break;
+    }
+    case Criterion::kRandom: {
+      common::Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+      for (auto& s : scores) s = rng.uniform();
+      break;
+    }
+    case Criterion::kUpdateMagnitude: {
+      if (reference == nullptr || !reference->same_shape(weight)) {
+        throw std::invalid_argument(
+            "channel_scores: kUpdateMagnitude needs a same-shape reference");
+      }
+      for (std::size_t o = 0; o < out; ++o) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+          const double d = weight[o * cols + j] - (*reference)[o * cols + j];
+          s += d * d;
+        }
+        scores[o] = std::sqrt(s);
+      }
+      break;
+    }
+  }
+  return scores;
+}
+
+std::vector<std::uint8_t> top_k_mask(const std::vector<double>& scores,
+                                     std::size_t keep_count) {
+  keep_count = std::min(keep_count, scores.size());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<std::uint8_t> mask(scores.size(), 0);
+  for (std::size_t i = 0; i < keep_count; ++i) mask[order[i]] = 1;
+  return mask;
+}
+
+void apply_sparsities(models::SplitModel& model,
+                      const std::vector<double>& sparsities,
+                      Criterion criterion, std::uint64_t seed,
+                      const std::vector<nn::Tensor>* references) {
+  const auto& gates = model.gates();
+  const auto& convs = model.gate_convs();
+  if (sparsities.size() != gates.size()) {
+    throw std::invalid_argument("apply_sparsities: need one ratio per gate");
+  }
+  if (references != nullptr && references->size() != gates.size()) {
+    throw std::invalid_argument("apply_sparsities: reference count mismatch");
+  }
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    const std::size_t channels = gates[g]->channels();
+    const double sparsity = std::clamp(sparsities[g], 0.0, 1.0);
+    // ceil() of the keep fraction: at least 1 channel always survives.
+    const std::size_t keep = std::max<std::size_t>(
+        1, std::size_t(std::ceil((1.0 - sparsity) * double(channels))));
+    const nn::Tensor* ref =
+        references != nullptr ? &(*references)[g] : nullptr;
+    const auto scores =
+        channel_scores(convs[g]->weight(), criterion, ref, seed + g);
+    gates[g]->set_mask(top_k_mask(scores, keep));
+  }
+}
+
+void apply_uniform_sparsity(models::SplitModel& model, double sparsity,
+                            Criterion criterion, std::uint64_t seed) {
+  apply_sparsities(model,
+                   std::vector<double>(model.gates().size(), sparsity),
+                   criterion, seed);
+}
+
+std::vector<double> project_to_flops_budget(const models::SplitModel& model,
+                                            std::vector<double> sparsities,
+                                            double flops_budget_ratio) {
+  const auto& layers = model.layers();
+  const double dense = dense_encoder_flops(layers);
+  auto ratio_at = [&](double scale) {
+    std::vector<double> keep(sparsities.size());
+    for (std::size_t g = 0; g < keep.size(); ++g) {
+      const double s = std::clamp(sparsities[g] * scale, 0.0, 0.95);
+      keep[g] = 1.0 - s;
+    }
+    return gated_encoder_flops(layers, keep) / dense;
+  };
+  if (ratio_at(1.0) <= flops_budget_ratio) return sparsities;
+  // Find the smallest uniform boost of all sparsities that meets the budget.
+  double lo = 1.0, hi = 1.0;
+  while (ratio_at(hi) > flops_budget_ratio && hi < 64.0) hi *= 2.0;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (ratio_at(mid) > flops_budget_ratio) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  for (auto& s : sparsities) s = std::clamp(s * hi, 0.0, 0.95);
+  return sparsities;
+}
+
+}  // namespace spatl::prune

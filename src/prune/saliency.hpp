@@ -1,0 +1,63 @@
+// Channel saliency criteria and structured pruning application.
+//
+// A saliency criterion ranks a conv layer's output channels; pruning keeps
+// the top-k and masks the rest through the layer's ChannelGate. The criteria
+// cover the baselines of the paper's Table IV: L1/L2 filter norms (the
+// magnitude family used by SFP), FPGM's distance-to-geometric-median, plus
+// random (control) and update-magnitude (used by SPATL's salient-parameter
+// upload: channels whose weights moved most during local training carry the
+// client's new information).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/split_model.hpp"
+
+namespace spatl::prune {
+
+enum class Criterion {
+  kL1,
+  kL2,
+  kGeometricMedian,  // FPGM: prune filters closest to the geometric median
+  kRandom,
+  kUpdateMagnitude,  // ||w_now - w_ref|| per channel (needs reference)
+};
+
+std::string criterion_name(Criterion c);
+
+/// Per-output-channel scores (higher = more salient) for a conv weight of
+/// shape (out, in*k*k). For kUpdateMagnitude, `reference` must be the same
+/// shape and holds the pre-training weights; for kRandom pass an Rng seed
+/// via `seed`.
+std::vector<double> channel_scores(const nn::Tensor& weight, Criterion c,
+                                   const nn::Tensor* reference = nullptr,
+                                   std::uint64_t seed = 0);
+
+/// Keep the `keep_count` highest-scoring channels: returns a 0/1 mask.
+std::vector<std::uint8_t> top_k_mask(const std::vector<double>& scores,
+                                     std::size_t keep_count);
+
+/// Apply per-gate sparsities to a model: gate g keeps
+/// ceil((1 - sparsity[g]) * channels) channels ranked by `criterion` on its
+/// conv's weights. sparsity values are clamped to [0, max_sparsity] so at
+/// least one channel always survives.
+void apply_sparsities(models::SplitModel& model,
+                      const std::vector<double>& sparsities,
+                      Criterion criterion, std::uint64_t seed = 0,
+                      const std::vector<nn::Tensor>* references = nullptr);
+
+/// Uniform-sparsity convenience used by one-shot pruning baselines.
+void apply_uniform_sparsity(models::SplitModel& model, double sparsity,
+                            Criterion criterion, std::uint64_t seed = 0);
+
+/// Scale a sparsity vector so the gated encoder meets a FLOPs budget
+/// (fraction of dense FLOPs). Performs a monotone bisection on a global
+/// multiplier; mirrors the constraint loop of the paper's Algorithm 1
+/// ("if size(E_t) does not satisfy constraints, produce new policy").
+std::vector<double> project_to_flops_budget(
+    const models::SplitModel& model, std::vector<double> sparsities,
+    double flops_budget_ratio);
+
+}  // namespace spatl::prune

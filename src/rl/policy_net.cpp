@@ -1,0 +1,170 @@
+#include "rl/policy_net.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace spatl::rl {
+
+using nn::Tensor;
+
+PolicyNetwork::PolicyNetwork(std::size_t feature_dim, std::size_t embed_dim,
+                             std::size_t hidden_dim, common::Rng& rng)
+    : feature_dim_(feature_dim),
+      embed_dim_(embed_dim),
+      hidden_dim_(hidden_dim),
+      lift_(std::make_shared<nn::Linear>(feature_dim, embed_dim)),
+      lift_relu_(std::make_shared<nn::ReLU>()),
+      gcn1_(std::make_shared<nn::Linear>(embed_dim, embed_dim)),
+      gcn1_relu_(std::make_shared<nn::ReLU>()),
+      gcn2_(std::make_shared<nn::Linear>(embed_dim, embed_dim)),
+      gcn2_relu_(std::make_shared<nn::ReLU>()),
+      actor_(std::make_shared<nn::Sequential>()),
+      critic_(std::make_shared<nn::Sequential>()) {
+  actor_->emplace<nn::Linear>(2 * embed_dim, hidden_dim);
+  actor_->emplace<nn::ReLU>();
+  actor_->emplace<nn::Linear>(hidden_dim, 1);
+  critic_->emplace<nn::Linear>(embed_dim, hidden_dim);
+  critic_->emplace<nn::ReLU>();
+  critic_->emplace<nn::Linear>(hidden_dim, 1);
+  lift_->init_params(rng);
+  gcn1_->init_params(rng);
+  gcn2_->init_params(rng);
+  actor_->init_params(rng);
+  critic_->init_params(rng);
+}
+
+PolicyOutput PolicyNetwork::forward(const graph::ComputeGraph& graph) {
+  if (graph.node_features.dim(1) != feature_dim_) {
+    throw std::invalid_argument("PolicyNetwork: feature dim mismatch");
+  }
+  cached_adj_ = graph::normalized_adjacency(graph);
+  cached_action_nodes_ = graph.action_nodes;
+  cached_nodes_ = graph.num_nodes();
+  const std::size_t n = cached_nodes_;
+
+  // GNN trunk.
+  Tensor h = lift_relu_->forward(
+      lift_->forward(graph.node_features, true), true);
+  Tensor m;
+  tensor::matmul(cached_adj_, h, m);
+  h = gcn1_relu_->forward(gcn1_->forward(m, true), true);
+  tensor::matmul(cached_adj_, h, m);
+  h = gcn2_relu_->forward(gcn2_->forward(m, true), true);
+  cached_h2_ = h;  // (N, D)
+
+  // Mean pooling -> graph embedding.
+  Tensor g({1, embed_dim_});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < embed_dim_; ++d) {
+      g[d] += h[i * embed_dim_ + d];
+    }
+  }
+  g *= 1.0f / float(n);
+
+  // Actor input: [h_node ; g] per action node.
+  const std::size_t k = cached_action_nodes_.size();
+  Tensor za({k, 2 * embed_dim_});
+  for (std::size_t a = 0; a < k; ++a) {
+    const int node = cached_action_nodes_[a];
+    if (node < 0 || std::size_t(node) >= n) {
+      throw std::invalid_argument("PolicyNetwork: bad action node index");
+    }
+    for (std::size_t d = 0; d < embed_dim_; ++d) {
+      za[a * 2 * embed_dim_ + d] = h[std::size_t(node) * embed_dim_ + d];
+      za[a * 2 * embed_dim_ + embed_dim_ + d] = g[d];
+    }
+  }
+  Tensor mu_raw = actor_->forward(za, true);  // (K, 1)
+  cached_mu_ = mu_raw;
+  PolicyOutput out;
+  out.action_means.resize(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    const float s = 1.0f / (1.0f + std::exp(-mu_raw[a]));
+    cached_mu_[a] = s;
+    out.action_means[a] = double(s);
+  }
+
+  Tensor v = critic_->forward(g, true);  // (1, 1)
+  out.value = double(v[0]);
+  return out;
+}
+
+void PolicyNetwork::backward(const std::vector<double>& d_means,
+                             double d_value) {
+  const std::size_t n = cached_nodes_;
+  const std::size_t k = cached_action_nodes_.size();
+  if (d_means.size() != k) {
+    throw std::invalid_argument("PolicyNetwork::backward: d_means size");
+  }
+  // Through sigmoid into the actor head.
+  Tensor dmu_raw({k, 1});
+  for (std::size_t a = 0; a < k; ++a) {
+    const float s = cached_mu_[a];
+    dmu_raw[a] = float(d_means[a]) * s * (1.0f - s);
+  }
+  Tensor dza = actor_->backward(dmu_raw);  // (K, 2D)
+
+  // Through the critic head.
+  Tensor dv({1, 1});
+  dv[0] = float(d_value);
+  Tensor dg = critic_->backward(dv);  // (1, D)
+
+  // Route actor-input gradients into node embeddings and graph embedding.
+  Tensor dh2({n, embed_dim_});
+  for (std::size_t a = 0; a < k; ++a) {
+    const std::size_t node = std::size_t(cached_action_nodes_[a]);
+    for (std::size_t d = 0; d < embed_dim_; ++d) {
+      dh2[node * embed_dim_ + d] += dza[a * 2 * embed_dim_ + d];
+      dg[d] += dza[a * 2 * embed_dim_ + embed_dim_ + d];
+    }
+  }
+  // Mean pooling adjoint: every node receives dg / N.
+  const float inv_n = 1.0f / float(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < embed_dim_; ++d) {
+      dh2[i * embed_dim_ + d] += dg[d] * inv_n;
+    }
+  }
+
+  // GNN trunk adjoints: h = relu(lin(A * h_prev)) twice, then the lift.
+  Tensor dm = gcn2_->backward(gcn2_relu_->backward(dh2));
+  Tensor dh1;
+  tensor::matmul_tn(cached_adj_, dm, dh1);  // d(A h) / dh = A^T
+  dm = gcn1_->backward(gcn1_relu_->backward(dh1));
+  Tensor dh0;
+  tensor::matmul_tn(cached_adj_, dm, dh0);
+  lift_->backward(lift_relu_->backward(dh0));
+}
+
+std::vector<nn::ParamView> PolicyNetwork::all_params() {
+  std::vector<nn::ParamView> out;
+  lift_->collect_params("gnn.lift.", out);
+  gcn1_->collect_params("gnn.gcn1.", out);
+  gcn2_->collect_params("gnn.gcn2.", out);
+  actor_->collect_params("actor.", out);
+  critic_->collect_params("critic.", out);
+  return out;
+}
+
+std::vector<nn::ParamView> PolicyNetwork::head_params() {
+  std::vector<nn::ParamView> out;
+  actor_->collect_params("actor.", out);
+  critic_->collect_params("critic.", out);
+  return out;
+}
+
+void PolicyNetwork::zero_grad() {
+  for (auto& p : all_params()) p.grad->zero();
+}
+
+PolicyNetwork PolicyNetwork::clone(common::Rng& rng) const {
+  PolicyNetwork copy(feature_dim_, embed_dim_, hidden_dim_, rng);
+  auto* self = const_cast<PolicyNetwork*>(this);
+  nn::unflatten_values(nn::flatten_values(self->all_params()),
+                       copy.all_params());
+  return copy;
+}
+
+}  // namespace spatl::rl

@@ -1,0 +1,81 @@
+// GNN actor-critic policy over computational graphs (paper §IV-B).
+//
+// Architecture (eqs. 5-6 of the paper): a message-passing graph encoder
+// embeds the network topology, then an MLP head projects node embeddings to
+// per-layer sparsity ratios (the action) and a second MLP head reads the
+// pooled graph embedding as the value estimate:
+//
+//   H0 = relu(X W0)                     node lift
+//   Hr = relu((A Hr-1) Wr), r = 1..2    mean-aggregation message passing
+//   g  = mean_i H2[i]                   graph embedding
+//   mu_k = sigmoid(MLP_a([H2[a_k]; g])) action mean per gated conv node
+//   v    = MLP_c(g)                     critic value
+//
+// Built from nn::Linear/ReLU blocks plus explicit adjacency matmuls, with a
+// hand-written backward for the graph-specific steps (aggregation, pooling,
+// concat routing). Fine-tuning mode freezes the GNN trunk and trains only
+// the MLP heads, exactly as the paper's on-device customization does.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/compute_graph.hpp"
+#include "nn/layers.hpp"
+#include "nn/sequential.hpp"
+
+namespace spatl::rl {
+
+struct PolicyOutput {
+  std::vector<double> action_means;  // one per action node, in (0,1)
+  double value = 0.0;
+};
+
+class PolicyNetwork {
+ public:
+  PolicyNetwork(std::size_t feature_dim, std::size_t embed_dim,
+                std::size_t hidden_dim, common::Rng& rng);
+
+  /// Forward over a graph; caches intermediates for backward.
+  PolicyOutput forward(const graph::ComputeGraph& graph);
+
+  /// Backward from d(loss)/d(action_means) and d(loss)/d(value);
+  /// accumulates parameter gradients. Must follow forward() on the same
+  /// graph.
+  void backward(const std::vector<double>& d_means, double d_value);
+
+  /// All parameters (GNN trunk + heads).
+  std::vector<nn::ParamView> all_params();
+  /// MLP-head parameters only — the fine-tuning subset.
+  std::vector<nn::ParamView> head_params();
+
+  void zero_grad();
+
+  std::size_t feature_dim() const { return feature_dim_; }
+  std::size_t embed_dim() const { return embed_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Deep copy (fresh modules, identical weights).
+  PolicyNetwork clone(common::Rng& rng) const;
+
+ private:
+  std::size_t feature_dim_, embed_dim_, hidden_dim_;
+
+  std::shared_ptr<nn::Linear> lift_;
+  std::shared_ptr<nn::ReLU> lift_relu_;
+  std::shared_ptr<nn::Linear> gcn1_;
+  std::shared_ptr<nn::ReLU> gcn1_relu_;
+  std::shared_ptr<nn::Linear> gcn2_;
+  std::shared_ptr<nn::ReLU> gcn2_relu_;
+  std::shared_ptr<nn::Sequential> actor_;
+  std::shared_ptr<nn::Sequential> critic_;
+
+  // Forward caches.
+  nn::Tensor cached_adj_;       // (N, N)
+  nn::Tensor cached_h2_;        // (N, D)
+  nn::Tensor cached_mu_;        // (K, 1) post-sigmoid
+  std::vector<int> cached_action_nodes_;
+  std::size_t cached_nodes_ = 0;
+};
+
+}  // namespace spatl::rl

@@ -1,0 +1,136 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spatl::rl {
+
+PpoAgent::PpoAgent(std::size_t feature_dim, PpoConfig config,
+                   std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  net_ = std::make_unique<PolicyNetwork>(feature_dim, config.embed_dim,
+                                         config.hidden_dim, rng_);
+  rebuild_optimizer();
+}
+
+void PpoAgent::rebuild_optimizer() {
+  auto params = finetune_ ? net_->head_params() : net_->all_params();
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params),
+                                          nn::AdamOptions{.lr = config_.lr});
+}
+
+void PpoAgent::set_finetune(bool finetune) {
+  if (finetune_ == finetune) return;
+  finetune_ = finetune;
+  rebuild_optimizer();  // fresh moments over the new trainable set
+}
+
+double PpoAgent::log_prob(const std::vector<double>& actions,
+                          const std::vector<double>& means) const {
+  const double sigma = config_.action_std;
+  const double log_norm =
+      -0.5 * std::log(2.0 * 3.14159265358979323846 * sigma * sigma);
+  double lp = 0.0;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const double z = (actions[i] - means[i]) / sigma;
+    lp += log_norm - 0.5 * z * z;
+  }
+  return lp;
+}
+
+std::vector<double> PpoAgent::act(const graph::ComputeGraph& graph,
+                                  bool explore) {
+  const PolicyOutput out = net_->forward(graph);
+  if (!explore) return out.action_means;
+
+  std::vector<double> actions(out.action_means.size());
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    // Sampled sparsities are clamped to the valid (0,1) action box; the
+    // log-prob is computed on the clamped value (standard clipped-Gaussian
+    // practice for bounded action spaces).
+    actions[i] = std::clamp(
+        rng_.normal(out.action_means[i], config_.action_std), 0.0, 0.98);
+  }
+  pending_.graph = graph;
+  pending_.actions = actions;
+  pending_.logp_old = log_prob(actions, out.action_means);
+  pending_.value_old = out.value;
+  has_pending_ = true;
+  return actions;
+}
+
+void PpoAgent::observe_reward(double reward) {
+  if (!has_pending_) {
+    throw std::logic_error("observe_reward: no pending transition");
+  }
+  pending_.reward = reward;
+  buffer_.push_back(std::move(pending_));
+  has_pending_ = false;
+}
+
+double PpoAgent::update() {
+  if (buffer_.empty()) return 0.0;
+
+  // One-step episodes: advantage = reward - V(s), normalized across the
+  // batch for scale robustness.
+  std::vector<double> adv(buffer_.size());
+  double mean = 0.0;
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    adv[i] = buffer_[i].reward - buffer_[i].value_old;
+    mean += adv[i];
+  }
+  mean /= double(buffer_.size());
+  double var = 0.0;
+  for (double a : adv) var += (a - mean) * (a - mean);
+  const double stddev = std::sqrt(var / double(buffer_.size())) + 1e-8;
+  for (double& a : adv) a = (a - mean) / stddev;
+
+  const double sigma2 = config_.action_std * config_.action_std;
+  double mean_abs_adv = 0.0;
+  for (double a : adv) mean_abs_adv += std::fabs(a);
+  mean_abs_adv /= double(buffer_.size());
+
+  for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    net_->zero_grad();
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+      const Transition& t = buffer_[i];
+      const PolicyOutput out = net_->forward(t.graph);
+      const double logp_new = log_prob(t.actions, out.action_means);
+      const double ratio = std::exp(
+          std::clamp(logp_new - t.logp_old, -20.0, 20.0));
+
+      // Clipped surrogate: gradient flows through `ratio` only when the
+      // unclipped branch is active.
+      const bool active = adv[i] >= 0.0 ? (ratio < 1.0 + config_.clip)
+                                        : (ratio > 1.0 - config_.clip);
+      std::vector<double> d_means(t.actions.size(), 0.0);
+      if (active) {
+        const double dl_dlogp = -adv[i] * ratio / double(buffer_.size());
+        for (std::size_t k = 0; k < t.actions.size(); ++k) {
+          // dlogp/dmu_k = (a_k - mu_k) / sigma^2
+          d_means[k] =
+              dl_dlogp * (t.actions[k] - out.action_means[k]) / sigma2;
+        }
+      }
+      const double d_value = config_.value_coef * (out.value - t.reward) /
+                             double(buffer_.size());
+      net_->backward(d_means, d_value);
+    }
+    optimizer_->step();
+  }
+  buffer_.clear();
+  return mean_abs_adv;
+}
+
+PpoAgent PpoAgent::clone(std::uint64_t seed) const {
+  PpoAgent copy(net_->feature_dim(), config_, seed);
+  auto* self = const_cast<PpoAgent*>(this);
+  nn::unflatten_values(nn::flatten_values(self->net_->all_params()),
+                       copy.net_->all_params());
+  copy.finetune_ = finetune_;
+  copy.rebuild_optimizer();
+  return copy;
+}
+
+}  // namespace spatl::rl

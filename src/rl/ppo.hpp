@@ -1,0 +1,82 @@
+// PPO agent over the pruning-policy search (paper §IV-B2, eq. 8).
+//
+// Episodes are single-step: state = the encoder's computational graph,
+// action = the vector of per-layer sparsity ratios, reward = validation
+// accuracy of the selected sub-network. The agent keeps a Gaussian policy
+// with fixed standard deviation around the GNN actor's means and updates
+// with the clipped surrogate objective via Adam, matching the paper's
+// hyper-parameter block (clip 0.2, fixed action std, Adam).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+#include "rl/policy_net.hpp"
+
+namespace spatl::rl {
+
+struct PpoConfig {
+  double clip = 0.2;
+  double action_std = 0.5;
+  double lr = 3e-3;
+  double value_coef = 0.5;
+  std::size_t update_epochs = 4;
+  std::size_t embed_dim = 32;
+  std::size_t hidden_dim = 32;
+  double gamma = 0.99;  // kept for config fidelity; one-step episodes
+};
+
+class PpoAgent {
+ public:
+  PpoAgent(std::size_t feature_dim, PpoConfig config, std::uint64_t seed);
+
+  /// Sample an action vector for `graph`. With explore=false returns the
+  /// policy means (deterministic, used at deployment). With explore=true a
+  /// pending transition is recorded; complete it with observe_reward().
+  std::vector<double> act(const graph::ComputeGraph& graph, bool explore);
+
+  /// Attach the reward to the pending transition and push it to the buffer.
+  void observe_reward(double reward);
+
+  /// PPO update over the buffered transitions; clears the buffer.
+  /// Returns the mean pre-update surrogate advantage (diagnostic).
+  double update();
+
+  /// Fine-tune mode trains only the MLP heads (paper: "only update the
+  /// MLP's parameter when fine-tuning").
+  void set_finetune(bool finetune);
+  bool finetune() const { return finetune_; }
+
+  std::size_t buffer_size() const { return buffer_.size(); }
+  const PpoConfig& config() const { return config_; }
+  PolicyNetwork& network() { return *net_; }
+
+  /// Deep copy with an independent RNG stream (per-client customization).
+  PpoAgent clone(std::uint64_t seed) const;
+
+ private:
+  struct Transition {
+    graph::ComputeGraph graph;
+    std::vector<double> actions;
+    double logp_old = 0.0;
+    double value_old = 0.0;
+    double reward = 0.0;
+  };
+
+  double log_prob(const std::vector<double>& actions,
+                  const std::vector<double>& means) const;
+  void rebuild_optimizer();
+
+  PpoConfig config_;
+  common::Rng rng_;
+  std::unique_ptr<PolicyNetwork> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  bool finetune_ = false;
+
+  std::vector<Transition> buffer_;
+  Transition pending_;
+  bool has_pending_ = false;
+};
+
+}  // namespace spatl::rl

@@ -1,0 +1,55 @@
+#include "rl/pruning_env.hpp"
+
+#include "data/loader.hpp"
+#include "prune/flops.hpp"
+#include "rl/ppo.hpp"
+
+namespace spatl::rl {
+
+PruningEnv::PruningEnv(models::SplitModel& model,
+                       const data::Dataset& val_set, PruningEnvConfig config)
+    : model_(model), val_(val_set), config_(config) {}
+
+graph::ComputeGraph PruningEnv::reset() {
+  model_.reset_gates();
+  return graph::build_compute_graph(model_);
+}
+
+StepResult PruningEnv::step(const std::vector<double>& sparsities) {
+  StepResult result;
+  result.applied_sparsities = prune::project_to_flops_budget(
+      model_, sparsities, config_.flops_budget);
+  prune::apply_sparsities(model_, result.applied_sparsities,
+                          config_.criterion);
+  result.flops_ratio = prune::encoder_flops(model_) /
+                       prune::dense_encoder_flops(model_.layers());
+  result.reward = data::evaluate(model_, val_).accuracy;
+  return result;
+}
+
+RlTrainHistory train_on_pruning(PpoAgent& agent, PruningEnv& env,
+                                std::size_t rounds,
+                                std::size_t episodes_per_round) {
+  RlTrainHistory history;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    double reward_sum = 0.0;
+    for (std::size_t e = 0; e < episodes_per_round; ++e) {
+      const auto graph = env.reset();
+      const auto actions = agent.act(graph, /*explore=*/true);
+      const StepResult sr = env.step(actions);
+      agent.observe_reward(sr.reward);
+      reward_sum += sr.reward;
+      if (sr.reward > history.best_reward) {
+        history.best_reward = sr.reward;
+        history.best_sparsities = sr.applied_sparsities;
+      }
+    }
+    agent.update();
+    history.rewards.push_back(reward_sum / double(episodes_per_round));
+    history.best_so_far.push_back(history.best_reward);
+  }
+  env.reset();  // leave the model dense
+  return history;
+}
+
+}  // namespace spatl::rl

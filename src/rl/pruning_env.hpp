@@ -1,0 +1,65 @@
+// Network-pruning environment: the RL task the salient-parameter agent is
+// pre-trained on, and the per-round evaluation it performs inside SPATL.
+//
+// One episode = one policy application: actions are per-gate sparsity
+// ratios; they are first projected onto the FLOPs budget (the constraint
+// loop of the paper's Algorithm 1), then realized as channel masks ranked by
+// a saliency criterion; the reward is the masked model's validation
+// accuracy (eq. 7).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "graph/compute_graph.hpp"
+#include "prune/saliency.hpp"
+
+namespace spatl::rl {
+
+struct PruningEnvConfig {
+  double flops_budget = 0.6;  // target fraction of dense encoder FLOPs
+  prune::Criterion criterion = prune::Criterion::kL2;
+};
+
+struct StepResult {
+  double reward = 0.0;       // validation accuracy of the sub-network
+  double flops_ratio = 1.0;  // achieved fraction of dense FLOPs
+  std::vector<double> applied_sparsities;
+};
+
+class PruningEnv {
+ public:
+  PruningEnv(models::SplitModel& model, const data::Dataset& val_set,
+             PruningEnvConfig config);
+
+  /// Dense-state observation (gates reset).
+  graph::ComputeGraph reset();
+
+  /// Apply a sparsity action, return the reward. Leaves the model gated so
+  /// callers can inspect/upload the selected sub-network.
+  StepResult step(const std::vector<double>& sparsities);
+
+  models::SplitModel& model() { return model_; }
+  const PruningEnvConfig& config() const { return config_; }
+
+ private:
+  models::SplitModel& model_;
+  const data::Dataset& val_;
+  PruningEnvConfig config_;
+};
+
+/// Reward trace of a training run, for the paper's Fig. 6.
+struct RlTrainHistory {
+  std::vector<double> rewards;        // mean reward per update round
+  std::vector<double> best_so_far;    // running best single-episode reward
+  std::vector<double> best_sparsities;  // action vector of the best episode
+  double best_reward = 0.0;
+};
+
+class PpoAgent;  // fwd
+
+/// Train `agent` on `env`: `rounds` policy-update rounds of
+/// `episodes_per_round` one-step episodes each.
+RlTrainHistory train_on_pruning(PpoAgent& agent, PruningEnv& env,
+                                std::size_t rounds,
+                                std::size_t episodes_per_round);
+
+}  // namespace spatl::rl

@@ -1,0 +1,267 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace spatl::tensor {
+
+namespace {
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul: inputs must be rank-2");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul: inner dimensions differ");
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  common::parallel_for_ranges(
+      0, m,
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          float* crow = pc + i * n;
+          std::fill(crow, crow + n, 0.0f);
+          const float* arow = pa + i * k;
+          for (std::size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;  // sparse rows after pruning are common
+            const float* brow = pb + p * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      /*grain=*/std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_tn: inputs must be rank-2");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul_tn: inner dimensions differ");
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  common::parallel_for_ranges(
+      0, m,
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          float* crow = pc + i * n;
+          std::fill(crow, crow + n, 0.0f);
+          for (std::size_t p = 0; p < k; ++p) {
+            const float av = pa[p * m + i];
+            if (av == 0.0f) continue;
+            const float* brow = pb + p * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_nt: inputs must be rank-2");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  require(b.dim(1) == k, "matmul_nt: inner dimensions differ");
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  common::parallel_for_ranges(
+      0, m,
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          const float* arow = pa + i * k;
+          float* crow = pc + i * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            double acc = 0.0;
+            for (std::size_t p = 0; p < k; ++p) acc += double(arow[p]) * brow[p];
+            crow[j] = static_cast<float>(acc);
+          }
+        }
+      },
+      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul(a, b, c);
+  return c;
+}
+
+void im2col(const Tensor& input, const Conv2dGeom& g, Tensor& columns) {
+  require(input.rank() == 4, "im2col: input must be (N,C,H,W)");
+  const std::size_t batch = input.dim(0);
+  require(input.dim(1) == g.in_channels && input.dim(2) == g.in_h &&
+              input.dim(3) == g.in_w,
+          "im2col: input shape does not match geometry");
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t rows = batch * oh * ow;
+  const std::size_t cols = g.patch_size();
+  if (columns.shape() != Shape{rows, cols}) columns = Tensor({rows, cols});
+  const float* in = input.data();
+  float* out = columns.data();
+  const std::size_t hw = g.in_h * g.in_w;
+  common::parallel_for_ranges(
+      0, rows,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::size_t n = r / (oh * ow);
+          const std::size_t rem = r % (oh * ow);
+          const std::size_t oy = rem / ow;
+          const std::size_t ox = rem % ow;
+          float* dst = out + r * cols;
+          const float* src_n = in + n * g.in_channels * hw;
+          const std::ptrdiff_t iy0 =
+              std::ptrdiff_t(oy * g.stride) - std::ptrdiff_t(g.pad);
+          const std::ptrdiff_t ix0 =
+              std::ptrdiff_t(ox * g.stride) - std::ptrdiff_t(g.pad);
+          for (std::size_t c = 0; c < g.in_channels; ++c) {
+            const float* src_c = src_n + c * hw;
+            for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+              const std::ptrdiff_t iy = iy0 + std::ptrdiff_t(ky);
+              for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+                const std::ptrdiff_t ix = ix0 + std::ptrdiff_t(kx);
+                const bool inside = iy >= 0 && iy < std::ptrdiff_t(g.in_h) &&
+                                    ix >= 0 && ix < std::ptrdiff_t(g.in_w);
+                *dst++ = inside ? src_c[std::size_t(iy) * g.in_w +
+                                        std::size_t(ix)]
+                                : 0.0f;
+              }
+            }
+          }
+        }
+      },
+      std::max<std::size_t>(1, 4096 / std::max<std::size_t>(1, cols)));
+}
+
+void col2im(const Tensor& columns, const Conv2dGeom& g, std::size_t batch,
+            Tensor& input_grad) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t rows = batch * oh * ow;
+  const std::size_t cols = g.patch_size();
+  require(columns.shape() == Shape{rows, cols},
+          "col2im: column shape mismatch");
+  const Shape in_shape{batch, g.in_channels, g.in_h, g.in_w};
+  if (input_grad.shape() != in_shape) input_grad = Tensor(in_shape);
+  input_grad.zero();
+  const float* src = columns.data();
+  float* out = input_grad.data();
+  const std::size_t hw = g.in_h * g.in_w;
+  // Parallelize over batch images: rows of the same image never collide
+  // across different n, so per-image chunks are race-free.
+  common::parallel_for(
+      0, batch,
+      [&](std::size_t n) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::size_t r = (n * oh + oy) * ow + ox;
+            const float* col = src + r * cols;
+            float* dst_n = out + n * g.in_channels * hw;
+            const std::ptrdiff_t iy0 =
+                std::ptrdiff_t(oy * g.stride) - std::ptrdiff_t(g.pad);
+            const std::ptrdiff_t ix0 =
+                std::ptrdiff_t(ox * g.stride) - std::ptrdiff_t(g.pad);
+            for (std::size_t c = 0; c < g.in_channels; ++c) {
+              float* dst_c = dst_n + c * hw;
+              for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+                const std::ptrdiff_t iy = iy0 + std::ptrdiff_t(ky);
+                for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+                  const std::ptrdiff_t ix = ix0 + std::ptrdiff_t(kx);
+                  const float v = *col++;
+                  if (iy >= 0 && iy < std::ptrdiff_t(g.in_h) && ix >= 0 &&
+                      ix < std::ptrdiff_t(g.in_w)) {
+                    dst_c[std::size_t(iy) * g.in_w + std::size_t(ix)] += v;
+                  }
+                }
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  require(logits.rank() == 2, "softmax_rows: logits must be (N,C)");
+  if (!probs.same_shape(logits)) probs = Tensor(logits.shape());
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  const float* in = logits.data();
+  float* out = probs.data();
+  common::parallel_for_ranges(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* row = in + i * c;
+          float* prow = out + i * c;
+          const float mx = *std::max_element(row, row + c);
+          double sum = 0.0;
+          for (std::size_t j = 0; j < c; ++j) {
+            prow[j] = std::exp(row[j] - mx);
+            sum += prow[j];
+          }
+          const float inv = static_cast<float>(1.0 / sum);
+          for (std::size_t j = 0; j < c; ++j) prow[j] *= inv;
+        }
+      },
+      std::max<std::size_t>(1, 1024 / std::max<std::size_t>(1, c)));
+}
+
+float cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                    Tensor* dlogits) {
+  require(logits.rank() == 2, "cross_entropy: logits must be (N,C)");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  require(labels.size() == n, "cross_entropy: label count mismatch");
+  Tensor probs;
+  softmax_rows(logits, probs);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = labels[i];
+    require(y >= 0 && std::size_t(y) < c, "cross_entropy: label out of range");
+    loss -= std::log(std::max(probs[i * c + y], 1e-12f));
+  }
+  loss /= double(n);
+  if (dlogits != nullptr) {
+    *dlogits = probs;
+    float* g = dlogits->data();
+    const float inv_n = 1.0f / float(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      g[i * c + std::size_t(labels[i])] -= 1.0f;
+    }
+    for (std::size_t i = 0; i < n * c; ++i) g[i] *= inv_n;
+  }
+  return static_cast<float>(loss);
+}
+
+std::vector<int> argmax_rows(const Tensor& scores) {
+  require(scores.rank() == 2, "argmax_rows: input must be (N,C)");
+  const std::size_t n = scores.dim(0), c = scores.dim(1);
+  std::vector<int> out(n);
+  const float* p = scores.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = p + i * c;
+    out[i] = int(std::max_element(row, row + c) - row);
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const auto pred = argmax_rows(logits);
+  if (pred.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  return double(hits) / double(pred.size());
+}
+
+}  // namespace spatl::tensor

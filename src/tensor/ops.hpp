@@ -1,0 +1,68 @@
+// Compute kernels over Tensors: GEMM (with transpose variants), im2col /
+// col2im for convolution, softmax + cross-entropy, and row reductions.
+//
+// All kernels parallelize over their outermost independent dimension via
+// common::parallel_for; none of them allocate inside the hot loop when the
+// caller supplies an output tensor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace spatl::tensor {
+
+// ---------------------------------------------------------------- GEMM ----
+
+/// C = A(m,k) * B(k,n). Shapes are validated; C is resized/overwritten.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A^T(k,m) * B(k,n) -> (m,n). A is stored (k,m).
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A(m,k) * B^T(n,k) -> (m,n). B is stored (n,k).
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// ------------------------------------------------------------- im2col ----
+
+/// Geometry of a 2-D convolution / pooling window sweep.
+struct Conv2dGeom {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0, in_w = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t pad = 1;
+
+  std::size_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  std::size_t patch_size() const { return in_channels * kernel * kernel; }
+};
+
+/// input: (N, C, H, W) -> columns: (N * out_h * out_w, C*k*k).
+/// Zero padding outside the image.
+void im2col(const Tensor& input, const Conv2dGeom& g, Tensor& columns);
+
+/// Adjoint of im2col: scatter-add columns back into (N, C, H, W).
+void col2im(const Tensor& columns, const Conv2dGeom& g, std::size_t batch,
+            Tensor& input_grad);
+
+// ------------------------------------------------- softmax / loss ----
+
+/// Row-wise softmax of logits (N, C) into probs (N, C), numerically stable.
+void softmax_rows(const Tensor& logits, Tensor& probs);
+
+/// Mean cross-entropy over the batch given integer labels; optionally also
+/// produces d(loss)/d(logits) = (probs - onehot)/N in `dlogits`.
+float cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                    Tensor* dlogits = nullptr);
+
+/// Row-wise argmax of (N, C).
+std::vector<int> argmax_rows(const Tensor& scores);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace spatl::tensor

@@ -1,0 +1,107 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace spatl::tensor {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53504154;  // "SPAT"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("read_tensors: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void write_tensors(std::ostream& out,
+                   const std::vector<NamedTensor>& entries) {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, std::uint64_t(entries.size()));
+  for (const auto& e : entries) {
+    write_pod(out, std::uint64_t(e.name.size()));
+    out.write(e.name.data(), std::streamsize(e.name.size()));
+    write_pod(out, std::uint64_t(e.value.rank()));
+    for (std::size_t d = 0; d < e.value.rank(); ++d) {
+      write_pod(out, std::uint64_t(e.value.dim(d)));
+    }
+    out.write(reinterpret_cast<const char*>(e.value.data()),
+              std::streamsize(e.value.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("write_tensors: stream write failed");
+}
+
+std::vector<NamedTensor> read_tensors(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("read_tensors: bad magic (not a SPATL file)");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("read_tensors: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  // Defensive cap: a count beyond ~1e6 entries signals corruption, not data.
+  if (count > 1'000'000ULL) {
+    throw std::runtime_error("read_tensors: implausible entry count");
+  }
+  std::vector<NamedTensor> entries;
+  entries.reserve(std::size_t(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NamedTensor e;
+    const auto name_len = read_pod<std::uint64_t>(in);
+    if (name_len > 4096) {
+      throw std::runtime_error("read_tensors: implausible name length");
+    }
+    e.name.resize(std::size_t(name_len));
+    in.read(e.name.data(), std::streamsize(name_len));
+    const auto rank = read_pod<std::uint64_t>(in);
+    if (rank > 8) throw std::runtime_error("read_tensors: implausible rank");
+    Shape shape(static_cast<std::size_t>(rank));
+    std::size_t numel = 1;
+    for (auto& d : shape) {
+      d = std::size_t(read_pod<std::uint64_t>(in));
+      if (d == 0 || numel > std::numeric_limits<std::size_t>::max() / d) {
+        throw std::runtime_error("read_tensors: implausible dimension");
+      }
+      numel *= d;
+    }
+    e.value = Tensor(std::move(shape));
+    in.read(reinterpret_cast<char*>(e.value.data()),
+            std::streamsize(e.value.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("read_tensors: truncated tensor data");
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void save_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& entries) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
+  write_tensors(out, entries);
+}
+
+std::vector<NamedTensor> load_tensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
+  return read_tensors(in);
+}
+
+}  // namespace spatl::tensor

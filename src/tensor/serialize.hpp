@@ -1,0 +1,37 @@
+// Binary serialization for tensors and named parameter sets.
+//
+// Format (little-endian, version-tagged):
+//   file   := magic u32 | version u32 | count u64 | entry*
+//   entry  := name_len u64 | name bytes | rank u64 | dims u64* | data f32*
+//
+// Used for checkpointing FL runs and persisting pre-trained RL agents so a
+// deployment never repeats the expensive pruning pre-training (§IV-B).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace spatl::tensor {
+
+struct NamedTensor {
+  std::string name;
+  Tensor value;
+};
+
+/// Serialize entries to a stream. Throws std::runtime_error on I/O failure.
+void write_tensors(std::ostream& out, const std::vector<NamedTensor>& entries);
+
+/// Parse entries from a stream. Throws std::runtime_error on corrupt or
+/// version-mismatched input.
+std::vector<NamedTensor> read_tensors(std::istream& in);
+
+/// File-path conveniences.
+void save_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& entries);
+std::vector<NamedTensor> load_tensors(const std::string& path);
+
+}  // namespace spatl::tensor

@@ -1,0 +1,134 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace spatl::tensor {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::randn(Shape shape, common::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.normal_float(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, common::Rng& rng, float lo,
+                            float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform_float(lo, hi);
+  return t;
+}
+
+Tensor& Tensor::reshape(Shape new_shape) {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("reshape: " + shape_to_string(shape_) +
+                                " -> " + shape_to_string(new_shape) +
+                                " changes element count");
+  }
+  shape_ = std::move(new_shape);
+  return *this;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor copy = *this;
+  copy.reshape(std::move(new_shape));
+  return copy;
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(shape_) + " vs " +
+                                shape_to_string(other.shape_));
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(other, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(other, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  check_same_shape(other, "operator*=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float s) {
+  for (auto& v : data_) v += s;
+  return *this;
+}
+
+Tensor& Tensor::add_scaled(const Tensor& other, float alpha) {
+  check_same_shape(other, "add_scaled");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;  // accumulate in double for stability
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::min() const {
+  if (empty()) throw std::logic_error("min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (empty()) throw std::logic_error("max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::size_t Tensor::flat_index(std::initializer_list<std::size_t> idx) const {
+  assert(idx.size() == shape_.size());
+  std::size_t flat = 0;
+  std::size_t d = 0;
+  for (std::size_t i : idx) {
+    assert(i < shape_[d]);
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float tol) {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace spatl::tensor

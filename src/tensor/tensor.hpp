@@ -1,0 +1,145 @@
+// Dense float32 tensor: contiguous row-major storage with a dynamic shape.
+//
+// This is the numeric substrate for the whole repository. It is deliberately
+// value-semantic (copyable, movable) and bounds-checked in debug builds;
+// kernels in ops.hpp operate on raw spans for speed.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace spatl::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+inline std::size_t shape_numel(const Shape& shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    if (data_.size() != shape_numel(shape_)) {
+      throw std::invalid_argument("Tensor: data size " +
+                                  std::to_string(data_.size()) +
+                                  " does not match shape " +
+                                  shape_to_string(shape_));
+    }
+  }
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) {
+    return Tensor(std::move(shape), v);
+  }
+
+  /// I.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(Shape shape, common::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, common::Rng& rng, float lo,
+                             float hi);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::size_t dim(std::size_t i) const {
+    assert(i < shape_.size());
+    return shape_[i];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// Multi-dimensional accessors for small-index use in tests and data
+  /// generation (kernels index manually for speed).
+  float& at(std::initializer_list<std::size_t> idx) {
+    return data_[flat_index(idx)];
+  }
+  float at(std::initializer_list<std::size_t> idx) const {
+    return data_[flat_index(idx)];
+  }
+
+  /// Reinterpret the shape without copying. Element count must match.
+  Tensor& reshape(Shape new_shape);
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  // -- elementwise arithmetic (shapes must match exactly) --
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);
+  Tensor& operator*=(float s);
+  Tensor& operator+=(float s);
+
+  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+  friend Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+  friend Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
+  friend Tensor operator*(Tensor a, float s) { return a *= s; }
+  friend Tensor operator*(float s, Tensor a) { return a *= s; }
+
+  /// this += alpha * other (axpy), the workhorse of every optimizer and
+  /// aggregation rule in the repo.
+  Tensor& add_scaled(const Tensor& other, float alpha);
+
+  float sum() const;
+  float mean() const { return empty() ? 0.0f : sum() / numel(); }
+  float min() const;
+  float max() const;
+  /// L2 norm of the flattened tensor.
+  float norm() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::size_t flat_index(std::initializer_list<std::size_t> idx) const;
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// True when all entries differ by at most `tol` (shapes must match).
+bool allclose(const Tensor& a, const Tensor& b, float tol = 1e-5f);
+
+}  // namespace spatl::tensor

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+
+namespace spatl::common {
+namespace {
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run_chunks(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroChunksIsANoop) {
+  ThreadPool pool(2);
+  pool.run_chunks(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_chunks(8,
+                               [](std::size_t i) {
+                                 if (i == 3) throw std::runtime_error("boom");
+                               }),
+               std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.run_chunks(4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ParallelFor, SumsMatchSerial) {
+  std::vector<std::atomic<long>> cells(10000);
+  parallel_for(0, cells.size(), [&](std::size_t i) {
+    cells[i].store(long(i));
+  }, /*grain=*/64);
+  long total = 0;
+  for (auto& c : cells) total += c.load();
+  EXPECT_EQ(total, long(cells.size()) * long(cells.size() - 1) / 2);
+}
+
+TEST(ParallelFor, EmptyRange) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForRanges, CoversRangeWithoutOverlap) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for_ranges(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  }, /*grain=*/128);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Csv, WritesHeaderAndEscapedRows) {
+  const std::string path = ::testing::TempDir() + "/spatl_csv_test.csv";
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.row({"plain", "1"});
+    csv.row({"with,comma", "quote\"inside"});
+    csv.row_values("mixed", 3.5);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"quote\"\"inside\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "mixed,3.5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongColumnCount) {
+  const std::string path = ::testing::TempDir() + "/spatl_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(2'100'000), "2.10MB");
+  EXPECT_EQ(format_bytes(4.16e9), "4.16GB");
+}
+
+TEST(Units, FormatCount) {
+  EXPECT_EQ(format_count(123), "123");
+  EXPECT_EQ(format_count(40'600'000), "40.60M");
+  EXPECT_EQ(format_count(1.25e9), "1.25G");
+}
+
+}  // namespace
+}  // namespace spatl::common

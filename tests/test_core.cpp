@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "core/spatl.hpp"
+#include "core/transfer.hpp"
+#include "data/synthetic.hpp"
+#include "fl/runner.hpp"
+
+namespace spatl::core {
+namespace {
+
+data::Dataset small_source(std::uint64_t seed = 77) {
+  data::SyntheticConfig cfg;
+  cfg.num_samples = 360;
+  cfg.image_size = 8;
+  cfg.num_classes = 10;
+  cfg.noise_stddev = 0.2f;
+  cfg.seed = seed;
+  return data::make_synth_cifar(cfg);
+}
+
+fl::FlConfig small_config(const std::string& arch = "cnn2") {
+  fl::FlConfig cfg;
+  cfg.model.arch = arch;
+  cfg.model.in_channels = 3;
+  cfg.model.input_size = 8;
+  cfg.model.width_mult = 0.25;
+  cfg.model.num_classes = 10;
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 32;
+  cfg.local.lr = 0.05;
+  cfg.seed = 51;
+  return cfg;
+}
+
+SpatlOptions fast_options() {
+  SpatlOptions opts;
+  opts.agent_finetune_rounds = 1;
+  opts.agent_finetune_episodes = 1;
+  opts.flops_budget = 0.7;
+  return opts;
+}
+
+TEST(Spatl, RoundRunsAndImprovesAccuracy) {
+  const auto source = small_source();
+  common::Rng rng(61);
+  fl::FlEnvironment env(source, 4, /*beta=*/0.5, 0.25, rng);
+  SpatlAlgorithm spatl(env, small_config(), fast_options());
+  const double before = spatl.evaluate_clients().avg_accuracy;
+  fl::RunOptions ro;
+  ro.rounds = 4;
+  const auto result = fl::run_federated(spatl, ro);
+  EXPECT_GT(result.final_accuracy, before + 0.1);
+}
+
+TEST(Spatl, SalientSelectionUploadsFewerBytesThanDense) {
+  const auto source = small_source();
+  common::Rng rng1(63), rng2(63);
+  fl::FlEnvironment env1(source, 4, 0.5, 0.25, rng1);
+  fl::FlEnvironment env2(source, 4, 0.5, 0.25, rng2);
+
+  auto on = fast_options();
+  on.flops_budget = 0.5;
+  SpatlAlgorithm with_sel(env1, small_config(), on);
+
+  auto off = fast_options();
+  off.salient_selection = false;
+  SpatlAlgorithm without_sel(env2, small_config(), off);
+
+  fl::RunOptions ro;
+  ro.rounds = 2;
+  fl::run_federated(with_sel, ro);
+  fl::run_federated(without_sel, ro);
+  EXPECT_LT(with_sel.ledger().uplink_bytes(),
+            without_sel.ledger().uplink_bytes());
+}
+
+TEST(Spatl, DenseUploadMatchesEncoderSizeWhenSelectionOff) {
+  const auto source = small_source();
+  common::Rng rng(65);
+  fl::FlEnvironment env(source, 3, 0.5, 0.25, rng);
+  auto opts = fast_options();
+  opts.salient_selection = false;
+  opts.gradient_control = false;
+  auto cfg = small_config();
+  cfg.local.epochs = 1;
+  SpatlAlgorithm spatl(env, cfg, opts);
+  const double enc =
+      double(nn::param_count(spatl.global_model().encoder_params()));
+  fl::RunOptions ro;
+  ro.rounds = 1;
+  fl::run_federated(spatl, ro);
+  // down: enc per client; up: enc per client (no variates, no indices).
+  EXPECT_DOUBLE_EQ(spatl.ledger().downlink_bytes(), 3 * enc * 4.0);
+  EXPECT_DOUBLE_EQ(spatl.ledger().uplink_bytes(), 3 * enc * 4.0);
+}
+
+TEST(Spatl, GradientControlDoublesDownlink) {
+  const auto source = small_source();
+  common::Rng rng1(67), rng2(67);
+  fl::FlEnvironment env1(source, 3, 0.5, 0.25, rng1);
+  fl::FlEnvironment env2(source, 3, 0.5, 0.25, rng2);
+  auto base = fast_options();
+  base.salient_selection = false;
+
+  auto gc_off = base;
+  gc_off.gradient_control = false;
+  SpatlAlgorithm a(env1, small_config(), gc_off);
+  SpatlAlgorithm b(env2, small_config(), base);
+  fl::RunOptions ro;
+  ro.rounds = 1;
+  fl::run_federated(a, ro);
+  fl::run_federated(b, ro);
+  EXPECT_DOUBLE_EQ(b.ledger().downlink_bytes(),
+                   2.0 * a.ledger().downlink_bytes());
+}
+
+TEST(Spatl, TransferAblationSharesPredictorToo) {
+  const auto source = small_source();
+  common::Rng rng1(69), rng2(69);
+  fl::FlEnvironment env1(source, 3, 0.5, 0.25, rng1);
+  fl::FlEnvironment env2(source, 3, 0.5, 0.25, rng2);
+  auto opts_on = fast_options();
+  opts_on.salient_selection = false;
+  opts_on.gradient_control = false;
+  auto opts_off = opts_on;
+  opts_off.transfer_learning = false;
+  SpatlAlgorithm with_tl(env1, small_config(), opts_on);
+  SpatlAlgorithm without_tl(env2, small_config(), opts_off);
+  fl::RunOptions ro;
+  ro.rounds = 1;
+  fl::run_federated(with_tl, ro);
+  fl::run_federated(without_tl, ro);
+  // Sharing the predictor moves strictly more bytes.
+  EXPECT_GT(without_tl.ledger().total_bytes(),
+            with_tl.ledger().total_bytes());
+}
+
+TEST(Spatl, PerClientStateIsHeterogeneous) {
+  const auto source = small_source();
+  common::Rng rng(71);
+  fl::FlEnvironment env(source, 4, 0.2 /*strong skew*/, 0.25, rng);
+  SpatlAlgorithm spatl(env, small_config(), fast_options());
+  fl::RunOptions ro;
+  ro.rounds = 2;
+  fl::run_federated(spatl, ro);
+  // Predictors differ across clients after local training.
+  auto p0 = nn::flatten_values(spatl.client_model(0).predictor_params());
+  auto p1 = nn::flatten_values(spatl.client_model(1).predictor_params());
+  ASSERT_EQ(p0.size(), p1.size());
+  bool differ = false;
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    if (p0[i] != p1[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+  const auto acc = spatl.per_client_accuracy();
+  EXPECT_EQ(acc.size(), 4u);
+}
+
+TEST(Spatl, ClientFlopsRatiosReflectSelection) {
+  const auto source = small_source();
+  common::Rng rng(73);
+  fl::FlEnvironment env(source, 3, 0.5, 0.25, rng);
+  auto opts = fast_options();
+  opts.flops_budget = 0.5;
+  SpatlAlgorithm spatl(env, small_config(), opts);
+  fl::RunOptions ro;
+  ro.rounds = 1;
+  ro.sample_ratio = 1.0;
+  fl::run_federated(spatl, ro);
+  for (double r : spatl.client_flops_ratios()) {
+    EXPECT_LE(r, 0.75);  // budget + quantization slack
+    EXPECT_GT(r, 0.0);
+  }
+  for (double s : spatl.client_sparsities()) EXPECT_GT(s, 0.0);
+}
+
+TEST(Spatl, DeterministicForSameSeeds) {
+  const auto source = small_source();
+  common::Rng rng1(75), rng2(75);
+  fl::FlEnvironment env1(source, 3, 0.5, 0.25, rng1);
+  fl::FlEnvironment env2(source, 3, 0.5, 0.25, rng2);
+  SpatlAlgorithm a(env1, small_config(), fast_options());
+  SpatlAlgorithm b(env2, small_config(), fast_options());
+  fl::RunOptions ro;
+  ro.rounds = 2;
+  const auto ra = fl::run_federated(a, ro);
+  const auto rb = fl::run_federated(b, ro);
+  ASSERT_EQ(ra.history.size(), rb.history.size());
+  for (std::size_t i = 0; i < ra.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.history[i].avg_accuracy, rb.history[i].avg_accuracy);
+  }
+}
+
+TEST(Spatl, ColdClientAdaptationImprovesItsAccuracy) {
+  const auto source = small_source();
+  common::Rng rng(79);
+  fl::FlEnvironment env(source, 5, 0.5, 0.25, rng);
+  auto cfg = small_config();
+  SpatlAlgorithm spatl(env, cfg, fast_options());
+  fl::RunOptions ro;
+  ro.rounds = 3;
+  ro.sample_ratio = 0.6;  // only 3 of 5 clients ever train
+  // Fixed sampling seed: determine a never-sampled client afterwards by
+  // checking participations via its untouched (random) predictor accuracy.
+  fl::run_federated(spatl, ro);
+  const auto before = spatl.per_client_accuracy();
+  // Adapt the last client (eq. 4) and expect improvement on its val set.
+  const double adapted = spatl.adapt_cold_client(4, /*epochs=*/3);
+  EXPECT_GE(adapted + 1e-9, before[4]);
+}
+
+TEST(Spatl, PretrainedAgentIsClonedIntoClients) {
+  const auto source = small_source();
+  PretrainConfig pc;
+  pc.arch = "resnet20";
+  pc.input_size = 8;
+  pc.width_mult = 0.25;
+  pc.warmup_epochs = 1;
+  pc.rl_rounds = 2;
+  pc.episodes_per_round = 2;
+  pc.train_samples = 80;
+  pc.val_samples = 40;
+  auto pre = pretrain_selection_agent(pc);
+  EXPECT_EQ(pre.history.rewards.size(), 2u);
+
+  common::Rng rng(81);
+  fl::FlEnvironment env(source, 3, 0.5, 0.25, rng);
+  SpatlAlgorithm spatl(env, small_config(), fast_options(), &pre.agent);
+  fl::RunOptions ro;
+  ro.rounds = 1;
+  EXPECT_NO_THROW(fl::run_federated(spatl, ro));
+}
+
+TEST(TransferEvaluate, RunsAndBeatsChanceAfterFewEpochs) {
+  data::SyntheticConfig dc;
+  dc.num_samples = 300;
+  dc.image_size = 8;
+  dc.num_classes = 10;
+  dc.seed = 5;
+  const auto full = data::make_synth_cifar(dc);
+  const auto train = full.slice(0, 200);
+  const auto test = full.slice(200, 300);
+
+  common::Rng rng(83);
+  auto src = models::build_model(small_config().model, rng);
+  // Give the source encoder some supervised knowledge first.
+  data::TrainOptions topts;
+  topts.epochs = 3;
+  topts.lr = 0.05;
+  data::train_supervised(src, train, topts, rng, src.all_params());
+
+  data::TrainOptions tr;
+  tr.lr = 0.05;
+  const double acc =
+      transfer_evaluate(src, train, test, /*epochs=*/3, tr, rng);
+  EXPECT_GT(acc, 0.15);  // chance is 0.1
+}
+
+}  // namespace
+}  // namespace spatl::core

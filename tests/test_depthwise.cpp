@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "nn/depthwise.hpp"
+#include "prune/flops.hpp"
+#include "test_util.hpp"
+
+namespace spatl::nn {
+namespace {
+
+TEST(DepthwiseConv2d, IdentityKernelPassesThrough) {
+  DepthwiseConv2d dw(2, 3, 1, 1);
+  // Center-tap delta kernels: output == input.
+  dw.weight().zero();
+  dw.weight()[0 * 9 + 4] = 1.0f;
+  dw.weight()[1 * 9 + 4] = 1.0f;
+  common::Rng rng(1);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  Tensor y = dw.forward(x, true);
+  EXPECT_TRUE(tensor::allclose(x, y, 1e-6f));
+}
+
+TEST(DepthwiseConv2d, ChannelsDoNotMix) {
+  DepthwiseConv2d dw(2, 3, 1, 1);
+  common::Rng rng(2);
+  dw.init_params(rng);
+  // Input with energy only in channel 0 must give zero output in channel 1.
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t p = 0; p < 16; ++p) x[p] = float(p + 1);
+  Tensor y = dw.forward(x, true);
+  for (std::size_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(y[16 + p], 0.0f);
+  }
+}
+
+TEST(DepthwiseConv2d, StrideReducesSpatialSize) {
+  DepthwiseConv2d dw(3, 3, 2, 1);
+  common::Rng rng(3);
+  dw.init_params(rng);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor y = dw.forward(x, true);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 3, 4, 4}));
+}
+
+TEST(DepthwiseConv2d, GradientCheck) {
+  common::Rng rng(5);
+  DepthwiseConv2d dw(3, 3, 1, 1);
+  dw.init_params(rng);
+  Tensor x = Tensor::randn({2, 3, 5, 5}, rng);
+  const auto r = spatl::testutil::grad_check(dw, x);
+  EXPECT_LT(r.max_rel_err, 2e-2) << "abs=" << r.max_abs_err;
+}
+
+TEST(DepthwiseConv2d, RejectsWrongChannelCount) {
+  DepthwiseConv2d dw(4, 3);
+  Tensor x({1, 3, 4, 4});
+  EXPECT_THROW(dw.forward(x, true), std::invalid_argument);
+}
+
+TEST(MobileNet, BuildsForwardsAndHasGatedBlocks) {
+  models::ModelConfig cfg;
+  cfg.arch = "mobilenet";
+  cfg.input_size = 16;
+  cfg.width_mult = 0.25;
+  common::Rng rng(7);
+  auto m = models::build_model(cfg, rng);
+  // Stem gate + one gate per separable block.
+  EXPECT_EQ(m.gates().size(), 7u);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor logits = m.forward(x, true);
+  EXPECT_EQ(logits.shape(), (tensor::Shape{2, 10}));
+
+  // FLOPs accounting covers the depthwise stages.
+  const double dense = prune::dense_encoder_flops(m.layers());
+  EXPECT_GT(dense, 0.0);
+  bool saw_depthwise = false;
+  for (const auto& l : m.layers()) {
+    if (l.kind == models::LayerKind::kDepthwiseConv) {
+      saw_depthwise = true;
+      EXPECT_GT(prune::dense_layer_flops(l), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_depthwise);
+}
+
+TEST(MobileNet, DepthwiseFlopsScaleWithInputGate) {
+  models::LayerInfo l;
+  l.kind = models::LayerKind::kDepthwiseConv;
+  l.in_ch = l.out_ch = 8;
+  l.kernel = 3;
+  l.in_h = l.in_w = l.out_h = l.out_w = 4;
+  l.in_gate = 0;
+  const double full = prune::gated_encoder_flops({l}, {1.0});
+  EXPECT_DOUBLE_EQ(prune::gated_encoder_flops({l}, {0.5}), full * 0.5);
+}
+
+TEST(MobileNet, TrainsOneStepWithoutNans) {
+  models::ModelConfig cfg;
+  cfg.arch = "mobilenet";
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25;
+  common::Rng rng(11);
+  auto m = models::build_model(cfg, rng);
+  Tensor x = Tensor::randn({4, 3, 8, 8}, rng);
+  Tensor logits = m.forward(x, true);
+  Tensor dlogits;
+  tensor::cross_entropy(logits, {0, 1, 2, 3}, &dlogits);
+  m.zero_grad();
+  m.backward(dlogits);
+  for (auto& p : m.all_params()) {
+    for (std::size_t i = 0; i < p.grad->numel(); ++i) {
+      ASSERT_TRUE(std::isfinite((*p.grad)[i])) << p.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spatl::nn

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.hpp"
+
+namespace spatl::common {
+namespace {
+
+Flags parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : args) argv.push_back(a.data());
+  return Flags(int(argv.size()), argv.data());
+}
+
+TEST(Flags, SpaceAndEqualsForms) {
+  auto f = parse({"--arch", "resnet20", "--rounds=12"});
+  EXPECT_EQ(f.get("arch"), "resnet20");
+  EXPECT_EQ(f.get_int("rounds", 0), 12);
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  auto f = parse({});
+  EXPECT_EQ(f.get("arch", "vgg11"), "vgg11");
+  EXPECT_EQ(f.get_int("rounds", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("lr", 0.5), 0.5);
+  EXPECT_TRUE(f.get_bool("verbose", true));
+  EXPECT_FALSE(f.has("arch"));
+}
+
+TEST(Flags, BooleanFlagWithoutValue) {
+  auto f = parse({"--verbose", "--arch", "cnn2"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_EQ(f.get("arch"), "cnn2");
+}
+
+TEST(Flags, Positionals) {
+  auto f = parse({"train", "--rounds", "3", "extra"});
+  EXPECT_EQ(f.positionals(), (std::vector<std::string>{"train", "extra"}));
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  auto f = parse({"--rounds", "many"});
+  EXPECT_THROW(f.get_int("rounds", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_double("rounds", 0), std::invalid_argument);
+}
+
+TEST(Flags, UnknownFlagCheck) {
+  auto f = parse({"--arch", "x", "--typo", "y"});
+  EXPECT_THROW(f.check_known({"arch"}), std::invalid_argument);
+  EXPECT_NO_THROW(f.check_known({"arch", "typo"}));
+}
+
+}  // namespace
+}  // namespace spatl::common

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/compute_graph.hpp"
+
+namespace spatl::graph {
+namespace {
+
+models::SplitModel tiny(const std::string& arch) {
+  models::ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25;
+  if (arch == "cnn2") cfg.in_channels = 1;
+  common::Rng rng(5);
+  return models::build_model(cfg, rng);
+}
+
+TEST(ComputeGraph, NodeCountMatchesLayersPlusInput) {
+  auto m = tiny("resnet20");
+  const auto g = build_compute_graph(m);
+  EXPECT_EQ(g.num_nodes(), m.layers().size() + 1);
+  EXPECT_EQ(g.node_features.dim(1), std::size_t(kNumNodeFeatures));
+}
+
+TEST(ComputeGraph, OneActionNodePerGate) {
+  for (const char* arch : {"resnet20", "vgg11", "cnn2"}) {
+    auto m = tiny(arch);
+    const auto g = build_compute_graph(m);
+    ASSERT_EQ(g.action_nodes.size(), m.gates().size()) << arch;
+    for (int node : g.action_nodes) {
+      ASSERT_GE(node, 1) << arch;
+      ASSERT_LT(std::size_t(node), g.num_nodes()) << arch;
+      // Action nodes are conv outputs.
+      EXPECT_EQ(g.node_features[std::size_t(node) * kNumNodeFeatures +
+                                kIsConv],
+                1.0f)
+          << arch;
+    }
+  }
+}
+
+TEST(ComputeGraph, ResidualSkipEdgesExist) {
+  auto m = tiny("resnet20");
+  const auto g = build_compute_graph(m);
+  // Sequential edges = num layers; skips add more.
+  EXPECT_GT(g.edges.size(), m.layers().size());
+  // Every Add layer contributes exactly one skip edge.
+  std::size_t adds = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == models::LayerKind::kAdd) ++adds;
+  }
+  EXPECT_EQ(g.edges.size(), m.layers().size() + adds);
+}
+
+TEST(ComputeGraph, FlopsSharesSumToOne) {
+  auto m = tiny("vgg11");
+  const auto g = build_compute_graph(m);
+  double total = 0.0;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    total += g.node_features[i * kNumNodeFeatures + kFlopsShare];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(ComputeGraph, KeepFeatureTracksGateState) {
+  auto m = tiny("vgg11");
+  std::vector<std::uint8_t> mask(m.gates()[0]->channels(), 0);
+  mask[0] = 1;
+  m.gates()[0]->set_mask(mask);
+  const auto g = build_compute_graph(m);
+  const int node = g.action_nodes[0];
+  EXPECT_NEAR(g.node_features[std::size_t(node) * kNumNodeFeatures +
+                              kCurrentKeep],
+              1.0 / double(mask.size()), 1e-5);
+}
+
+TEST(NormalizedAdjacency, RowsSumToOneAndSelfLoops) {
+  auto m = tiny("resnet20");
+  const auto g = build_compute_graph(m);
+  const auto a = normalized_adjacency(g);
+  const std::size_t n = g.num_nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += a[i * n + j];
+    EXPECT_NEAR(row, 1.0, 1e-5);
+    EXPECT_GT(a[i * n + i], 0.0f);  // self-loop present
+  }
+}
+
+TEST(ComputeGraph, DeterministicForSameModelState) {
+  auto m = tiny("resnet20");
+  const auto g1 = build_compute_graph(m);
+  const auto g2 = build_compute_graph(m);
+  EXPECT_TRUE(tensor::allclose(g1.node_features, g2.node_features));
+  EXPECT_EQ(g1.edges, g2.edges);
+  EXPECT_EQ(g1.action_nodes, g2.action_nodes);
+}
+
+}  // namespace
+}  // namespace spatl::graph

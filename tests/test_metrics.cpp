@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "data/loader.hpp"
+#include "data/metrics.hpp"
+#include "data/synthetic.hpp"
+
+namespace spatl::data {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add_batch({0, 0, 1, 2, 2, 2}, {0, 1, 1, 2, 2, 0});
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(2, 0), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 6.0);
+}
+
+TEST(ConfusionMatrix, RecallPrecisionF1HandValues) {
+  ConfusionMatrix cm(2);
+  // class 0: 3 truths, 2 predicted correctly; class 1: 2 truths, 1 correct.
+  cm.add_batch({0, 0, 0, 1, 1}, {0, 0, 1, 1, 0});
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(cm.f1(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.5);
+  EXPECT_NEAR(cm.macro_f1(), (2.0 / 3.0 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, AbsentClassesAreExcludedFromMacroF1) {
+  ConfusionMatrix cm(4);
+  cm.add_batch({0, 0}, {0, 0});  // only class 0 appears
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRangeLabels) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW(cm.add_batch({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, PerClassAccuracyMatchesRecall) {
+  ConfusionMatrix cm(3);
+  cm.add_batch({0, 1, 1, 2}, {0, 1, 0, 1});
+  const auto pca = cm.per_class_accuracy();
+  ASSERT_EQ(pca.size(), 3u);
+  EXPECT_DOUBLE_EQ(pca[0], cm.recall(0));
+  EXPECT_DOUBLE_EQ(pca[1], cm.recall(1));
+  EXPECT_DOUBLE_EQ(pca[2], cm.recall(2));
+}
+
+TEST(EvaluateConfusion, AgreesWithPlainAccuracy) {
+  SyntheticConfig dc;
+  dc.num_samples = 80;
+  dc.image_size = 8;
+  const Dataset d = make_synth_cifar(dc);
+  models::ModelConfig mc;
+  mc.arch = "cnn2";
+  mc.in_channels = 3;
+  mc.input_size = 8;
+  mc.width_mult = 0.25;
+  common::Rng rng(9);
+  auto m = models::build_model(mc, rng);
+  const auto cm = evaluate_confusion(m, d);
+  const auto plain = evaluate(m, d);
+  EXPECT_NEAR(cm.accuracy(), plain.accuracy, 1e-12);
+  EXPECT_EQ(cm.total(), d.size());
+}
+
+}  // namespace
+}  // namespace spatl::data

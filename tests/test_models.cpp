@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "models/split_model.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatl::models {
+namespace {
+
+class ModelZoo : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelZoo, ForwardProducesLogitsOfRightShape) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.input_size = 16;
+  cfg.width_mult = 0.25;
+  cfg.num_classes = 10;
+  if (cfg.arch == std::string("cnn2")) {
+    cfg.in_channels = 1;
+    cfg.num_classes = 62;
+  }
+  common::Rng rng(1);
+  SplitModel m = build_model(cfg, rng);
+  nn::Tensor x = nn::Tensor::randn(
+      {2, cfg.in_channels, cfg.input_size, cfg.input_size}, rng);
+  nn::Tensor logits = m.forward(x, /*train=*/true);
+  EXPECT_EQ(logits.shape(), (tensor::Shape{2, cfg.num_classes}));
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_FALSE(std::isnan(logits[i]));
+  }
+}
+
+TEST_P(ModelZoo, BackwardRunsAndPopulatesGradients) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.input_size = 16;
+  cfg.width_mult = 0.25;
+  if (cfg.arch == std::string("cnn2")) cfg.in_channels = 1;
+  common::Rng rng(2);
+  SplitModel m = build_model(cfg, rng);
+  nn::Tensor x = nn::Tensor::randn(
+      {2, cfg.in_channels, cfg.input_size, cfg.input_size}, rng);
+  nn::Tensor logits = m.forward(x, true);
+  nn::Tensor dlogits;
+  tensor::cross_entropy(logits, {0, 1}, &dlogits);
+  m.zero_grad();
+  m.backward(dlogits);
+  double gnorm = 0.0;
+  for (auto& p : m.all_params()) gnorm += double(p.grad->norm());
+  EXPECT_GT(gnorm, 0.0);
+}
+
+TEST_P(ModelZoo, ParamNamesSplitByPrefix) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.input_size = 16;
+  cfg.width_mult = 0.25;
+  if (cfg.arch == std::string("cnn2")) cfg.in_channels = 1;
+  common::Rng rng(3);
+  SplitModel m = build_model(cfg, rng);
+  const auto all = m.all_params();
+  const auto enc = m.encoder_params();
+  const auto pred = m.predictor_params();
+  EXPECT_EQ(all.size(), enc.size() + pred.size());
+  for (const auto& p : enc) {
+    EXPECT_EQ(p.name.rfind("encoder.", 0), 0u) << p.name;
+  }
+  for (const auto& p : pred) {
+    EXPECT_EQ(p.name.rfind("predictor.", 0), 0u) << p.name;
+  }
+  // For the conv trunks the encoder dominates the parameter budget; the
+  // 2-layer CNN is the paper's own counter-example (it is
+  // "less-parameterized" — §VI), so skip the dominance check there.
+  if (cfg.arch != std::string("cnn2")) {
+    EXPECT_GT(nn::param_count(enc), nn::param_count(pred))
+        << "encoder should dominate the parameter budget";
+  }
+}
+
+TEST_P(ModelZoo, LayerRecordEndsAtEncoderOutput) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.input_size = 16;
+  cfg.width_mult = 0.25;
+  if (cfg.arch == std::string("cnn2")) cfg.in_channels = 1;
+  common::Rng rng(4);
+  SplitModel m = build_model(cfg, rng);
+  ASSERT_FALSE(m.layers().empty());
+  // Spatial dims and channels flow consistently layer to layer.
+  for (std::size_t i = 1; i < m.layers().size(); ++i) {
+    const auto& prev = m.layers()[i - 1];
+    const auto& cur = m.layers()[i];
+    EXPECT_EQ(cur.in_ch, prev.out_ch) << "layer " << i;
+    EXPECT_EQ(cur.in_h, prev.out_h) << "layer " << i;
+  }
+}
+
+TEST_P(ModelZoo, GatesCoverEveryRecordedOutGate) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.input_size = 16;
+  cfg.width_mult = 0.25;
+  if (cfg.arch == std::string("cnn2")) cfg.in_channels = 1;
+  common::Rng rng(5);
+  SplitModel m = build_model(cfg, rng);
+  EXPECT_FALSE(m.gates().empty());
+  for (const auto& li : m.layers()) {
+    if (li.out_gate >= 0) {
+      ASSERT_LT(std::size_t(li.out_gate), m.gates().size());
+      EXPECT_EQ(m.gates()[li.out_gate]->channels(), li.out_ch);
+    }
+    if (li.in_gate >= 0) {
+      ASSERT_LT(std::size_t(li.in_gate), m.gates().size());
+      EXPECT_EQ(m.gates()[li.in_gate]->channels(), li.in_ch);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, ModelZoo,
+                         ::testing::Values("resnet20", "resnet32", "resnet56",
+                                           "resnet18", "vgg11", "cnn2"));
+
+TEST(SplitModel, UnknownArchThrows) {
+  ModelConfig cfg;
+  cfg.arch = "alexnet";
+  common::Rng rng(1);
+  EXPECT_THROW(build_model(cfg, rng), std::invalid_argument);
+}
+
+TEST(SplitModel, CopyFullStateReproducesOutputsExactly) {
+  ModelConfig cfg;
+  cfg.arch = "resnet20";
+  cfg.input_size = 12;
+  cfg.width_mult = 0.25;
+  common::Rng rng(7);
+  SplitModel a = build_model(cfg, rng);
+  SplitModel b = build_model(cfg, rng);  // different init
+
+  // Run a few training forwards on `a` so running BN stats diverge.
+  nn::Tensor x = nn::Tensor::randn({4, 3, 12, 12}, rng);
+  a.forward(x, /*train=*/true);
+  a.forward(x, /*train=*/true);
+
+  copy_full_state(a, b);
+  nn::Tensor ya = a.forward(x, /*train=*/false);
+  nn::Tensor yb = b.forward(x, /*train=*/false);
+  EXPECT_TRUE(tensor::allclose(ya, yb, 1e-6f));
+}
+
+TEST(SplitModel, GateResetRestoresDenseModel) {
+  ModelConfig cfg;
+  cfg.arch = "vgg11";
+  cfg.input_size = 16;
+  cfg.width_mult = 0.25;
+  common::Rng rng(9);
+  SplitModel m = build_model(cfg, rng);
+  auto* gate = m.gates()[0];
+  std::vector<std::uint8_t> mask(gate->channels(), 0);
+  mask[0] = 1;
+  gate->set_mask(mask);
+  EXPECT_LT(m.gate_keep_fractions()[0], 1.0);
+  m.reset_gates();
+  for (double f : m.gate_keep_fractions()) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(SplitModel, WidthMultiplierScalesParameters) {
+  common::Rng rng(11);
+  ModelConfig small;
+  small.arch = "resnet20";
+  small.width_mult = 0.25;
+  ModelConfig big = small;
+  big.width_mult = 1.0;
+  SplitModel ms = build_model(small, rng);
+  SplitModel mb = build_model(big, rng);
+  EXPECT_LT(ms.encoder_param_count() * 4, mb.encoder_param_count());
+}
+
+TEST(SplitModel, FullScaleEncoderParamsMatchKnownMagnitudes) {
+  // CIFAR ResNet-20 is ~0.27M params; VGG-11 with BN ~9.2M (conv trunk).
+  const std::size_t r20 = full_scale_encoder_params("resnet20");
+  EXPECT_GT(r20, 200'000u);
+  EXPECT_LT(r20, 350'000u);
+  const std::size_t r32 = full_scale_encoder_params("resnet32");
+  EXPECT_GT(r32, r20);
+  const std::size_t vgg = full_scale_encoder_params("vgg11");
+  EXPECT_GT(vgg, 8'000'000u);
+  EXPECT_LT(vgg, 11'000'000u);
+}
+
+TEST(SplitModel, EncodeMatchesPredictorComposition) {
+  ModelConfig cfg;
+  cfg.arch = "cnn2";
+  cfg.in_channels = 1;
+  cfg.input_size = 16;
+  cfg.width_mult = 0.25;
+  common::Rng rng(13);
+  SplitModel m = build_model(cfg, rng);
+  nn::Tensor x = nn::Tensor::randn({2, 1, 16, 16}, rng);
+  nn::Tensor emb = m.encode(x, false);
+  nn::Tensor logits1 = m.predictor().forward(emb, false);
+  nn::Tensor logits2 = m.forward(x, false);
+  EXPECT_TRUE(tensor::allclose(logits1, logits2, 1e-6f));
+}
+
+}  // namespace
+}  // namespace spatl::models

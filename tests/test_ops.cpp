@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatl::tensor {
+namespace {
+
+TEST(Matmul, MatchesHandComputedValues) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c[0], 58.0f);
+  EXPECT_FLOAT_EQ(c[1], 64.0f);
+  EXPECT_FLOAT_EQ(c[2], 139.0f);
+  EXPECT_FLOAT_EQ(c[3], 154.0f);
+}
+
+TEST(Matmul, RejectsIncompatibleShapes) {
+  Tensor a({2, 3}), b({2, 2}), c;
+  EXPECT_THROW(matmul(a, b, c), std::invalid_argument);
+}
+
+// Reference naive matmul in double for cross-validation.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += double(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = float(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& t) {
+  const std::size_t m = t.dim(0), n = t.dim(1);
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out[j * m + i] = t[i * n + j];
+  }
+  return out;
+}
+
+class MatmulRandomized : public ::testing::TestWithParam<
+                             std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(MatmulRandomized, AllVariantsAgreeWithNaive) {
+  const auto [m, k, n] = GetParam();
+  common::Rng rng(m * 1000 + k * 100 + n);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor expected = naive_matmul(a, b);
+
+  Tensor c;
+  matmul(a, b, c);
+  EXPECT_TRUE(allclose(c, expected, 1e-3f));
+
+  Tensor c_tn;
+  matmul_tn(transpose2d(a), b, c_tn);
+  EXPECT_TRUE(allclose(c_tn, expected, 1e-3f));
+
+  Tensor c_nt;
+  matmul_nt(a, transpose2d(b), c_nt);
+  EXPECT_TRUE(allclose(c_nt, expected, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulRandomized,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 9), std::make_tuple(1, 64, 1),
+                      std::make_tuple(64, 1, 64)));
+
+TEST(Im2col, IdentityKernelReproducesInput) {
+  // 1x1 kernel, stride 1, no padding: columns == channel-major pixels.
+  common::Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Conv2dGeom g{3, 4, 4, /*kernel=*/1, /*stride=*/1, /*pad=*/0};
+  Tensor cols;
+  im2col(x, g, cols);
+  ASSERT_EQ(cols.shape(), (Shape{2 * 16, 3}));
+  for (std::size_t n = 0; n < 2; ++n) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t p = 0; p < 16; ++p) {
+        EXPECT_FLOAT_EQ(cols[(n * 16 + p) * 3 + c],
+                        x[(n * 3 + c) * 16 + p]);
+      }
+    }
+  }
+}
+
+TEST(Im2col, PaddingProducesZerosOutsideImage) {
+  Tensor x = Tensor::ones({1, 1, 2, 2});
+  Conv2dGeom g{1, 2, 2, /*kernel=*/3, /*stride=*/1, /*pad=*/1};
+  Tensor cols;
+  im2col(x, g, cols);
+  // Top-left output position: only the bottom-right 2x2 of the kernel
+  // overlaps the image.
+  ASSERT_EQ(cols.shape(), (Shape{4, 9}));
+  EXPECT_FLOAT_EQ(cols[0 * 9 + 0], 0.0f);  // (-1,-1)
+  EXPECT_FLOAT_EQ(cols[0 * 9 + 4], 1.0f);  // (0,0)
+  EXPECT_FLOAT_EQ(cols[0 * 9 + 8], 1.0f);  // (1,1)
+}
+
+class Im2colAdjoint
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, std::size_t>> {};
+
+TEST_P(Im2colAdjoint, DotProductIdentityHolds) {
+  // col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+  const auto [channels, size, kernel, stride] = GetParam();
+  const std::size_t pad = kernel / 2;
+  common::Rng rng(99);
+  Tensor x = Tensor::randn({2, channels, size, size}, rng);
+  Conv2dGeom g{channels, size, size, kernel, stride, pad};
+  Tensor cols;
+  im2col(x, g, cols);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor xback;
+  col2im(y, g, 2, xback);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += double(cols[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += double(x[i]) * xback[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colAdjoint,
+    ::testing::Values(std::make_tuple(1, 4, 3, 1), std::make_tuple(3, 6, 3, 1),
+                      std::make_tuple(2, 8, 3, 2), std::make_tuple(4, 5, 1, 1),
+                      std::make_tuple(2, 7, 5, 1),
+                      std::make_tuple(3, 8, 5, 2)));
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Tensor logits({2, 3}, std::vector<float>{1, 2, 3, -1, -2, -3});
+  Tensor probs;
+  softmax_rows(logits, probs);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += probs[r * 3 + c];
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  EXPECT_GT(probs[2], probs[1]);
+  EXPECT_GT(probs[3], probs[4]);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 2}, std::vector<float>{1000.0f, 1001.0f});
+  Tensor probs;
+  softmax_rows(logits, probs);
+  EXPECT_FALSE(std::isnan(probs[0]));
+  EXPECT_NEAR(probs[0] + probs[1], 1.0f, 1e-6f);
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({4, 10});
+  std::vector<int> labels = {0, 3, 7, 9};
+  const float loss = cross_entropy(logits, labels);
+  EXPECT_NEAR(loss, std::log(10.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  common::Rng rng(17);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  std::vector<int> labels = {1, 4, 0};
+  Tensor grad;
+  const float base = cross_entropy(logits, labels, &grad);
+  (void)base;
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float numeric =
+        (cross_entropy(lp, labels) - cross_entropy(lm, labels)) / (2 * eps);
+    EXPECT_NEAR(grad[i], numeric, 2e-3f) << "at logit " << i;
+  }
+}
+
+TEST(CrossEntropy, RejectsOutOfRangeLabel) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(cross_entropy(logits, {5}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy(logits, {-1}), std::invalid_argument);
+}
+
+TEST(ArgmaxAccuracy, Basics) {
+  Tensor scores({2, 3}, std::vector<float>{0.1f, 0.9f, 0.0f,  //
+                                           5.0f, 1.0f, 2.0f});
+  const auto idx = argmax_rows(scores);
+  EXPECT_EQ(idx, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(accuracy(scores, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 2}), 0.0);
+}
+
+}  // namespace
+}  // namespace spatl::tensor

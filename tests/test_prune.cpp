@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "prune/flops.hpp"
+#include "prune/pipelines.hpp"
+#include "prune/saliency.hpp"
+
+namespace spatl::prune {
+namespace {
+
+models::SplitModel tiny(const std::string& arch, std::uint64_t seed = 5) {
+  models::ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25;
+  if (arch == "cnn2") cfg.in_channels = 1;
+  common::Rng rng(seed);
+  return models::build_model(cfg, rng);
+}
+
+TEST(Flops, ConvFormulaMatchesHandComputation) {
+  models::LayerInfo l;
+  l.kind = models::LayerKind::kConv;
+  l.in_ch = 3;
+  l.out_ch = 8;
+  l.kernel = 3;
+  l.stride = 1;
+  l.in_h = l.in_w = 16;
+  l.out_h = l.out_w = 16;
+  // 2 * 9 * 3 * 8 * 256 = 110592
+  EXPECT_DOUBLE_EQ(dense_layer_flops(l), 110592.0);
+}
+
+TEST(Flops, LinearAndPoolFormulas) {
+  models::LayerInfo lin;
+  lin.kind = models::LayerKind::kLinear;
+  lin.in_ch = 64;
+  lin.out_ch = 10;
+  EXPECT_DOUBLE_EQ(dense_layer_flops(lin), 2.0 * 64 * 10);
+
+  models::LayerInfo gap;
+  gap.kind = models::LayerKind::kGlobalAvgPool;
+  gap.in_ch = 16;
+  gap.in_h = gap.in_w = 4;
+  EXPECT_DOUBLE_EQ(dense_layer_flops(gap), 16.0 * 16.0);
+}
+
+TEST(Flops, GatingScalesConvBilinearly) {
+  models::LayerInfo l;
+  l.kind = models::LayerKind::kConv;
+  l.in_ch = 8;
+  l.out_ch = 8;
+  l.kernel = 3;
+  l.in_h = l.in_w = l.out_h = l.out_w = 4;
+  l.in_gate = 0;
+  l.out_gate = 1;
+  const double dense = gated_encoder_flops({l}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(gated_encoder_flops({l}, {0.5, 1.0}), dense * 0.5);
+  EXPECT_DOUBLE_EQ(gated_encoder_flops({l}, {0.5, 0.5}), dense * 0.25);
+}
+
+TEST(Flops, ModelDenseEqualsGatedWithFullKeep) {
+  auto m = tiny("resnet20");
+  const double dense = dense_encoder_flops(m.layers());
+  EXPECT_GT(dense, 0.0);
+  EXPECT_DOUBLE_EQ(encoder_flops(m), dense);  // all gates open
+}
+
+TEST(Flops, MaskingReducesModelFlops) {
+  auto m = tiny("vgg11");
+  apply_uniform_sparsity(m, 0.5, Criterion::kL2);
+  const double ratio = encoder_flops(m) / dense_encoder_flops(m.layers());
+  EXPECT_LT(ratio, 0.7);
+  EXPECT_GT(ratio, 0.05);
+}
+
+TEST(Saliency, L1L2HandValues) {
+  nn::Tensor w({2, 2}, std::vector<float>{3, -4, 1, 0});
+  const auto l1 = channel_scores(w, Criterion::kL1);
+  EXPECT_DOUBLE_EQ(l1[0], 7.0);
+  EXPECT_DOUBLE_EQ(l1[1], 1.0);
+  const auto l2 = channel_scores(w, Criterion::kL2);
+  EXPECT_NEAR(l2[0], 5.0, 1e-6);
+  EXPECT_NEAR(l2[1], 1.0, 1e-6);
+}
+
+TEST(Saliency, FpgmScoresRedundantFiltersLow) {
+  // Three filters: two identical, one distinct. FPGM prunes filters close
+  // to the geometric median, i.e. the duplicated pair scores lower than the
+  // outlier.
+  nn::Tensor w({3, 2}, std::vector<float>{1, 1,  //
+                                          1, 1,  //
+                                          9, 9});
+  const auto s = channel_scores(w, Criterion::kGeometricMedian);
+  EXPECT_GT(s[2], s[0]);
+  EXPECT_NEAR(s[0], s[1], 1e-9);
+}
+
+TEST(Saliency, RandomIsDeterministicPerSeed) {
+  nn::Tensor w({4, 3});
+  const auto a = channel_scores(w, Criterion::kRandom, nullptr, 7);
+  const auto b = channel_scores(w, Criterion::kRandom, nullptr, 7);
+  const auto c = channel_scores(w, Criterion::kRandom, nullptr, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Saliency, UpdateMagnitudeNeedsReference) {
+  nn::Tensor w({2, 2}, std::vector<float>{1, 1, 5, 5});
+  EXPECT_THROW(channel_scores(w, Criterion::kUpdateMagnitude),
+               std::invalid_argument);
+  nn::Tensor ref({2, 2}, std::vector<float>{1, 1, 1, 1});
+  const auto s = channel_scores(w, Criterion::kUpdateMagnitude, &ref);
+  EXPECT_NEAR(s[0], 0.0, 1e-9);
+  EXPECT_NEAR(s[1], std::sqrt(32.0), 1e-5);
+}
+
+TEST(Saliency, TopKMaskKeepsHighest) {
+  const auto mask = top_k_mask({0.1, 0.9, 0.5, 0.7}, 2);
+  EXPECT_EQ(mask, (std::vector<std::uint8_t>{0, 1, 0, 1}));
+  // keep_count larger than size keeps everything.
+  EXPECT_EQ(top_k_mask({1.0, 2.0}, 5),
+            (std::vector<std::uint8_t>{1, 1}));
+}
+
+TEST(ApplySparsities, AtLeastOneChannelSurvives) {
+  auto m = tiny("cnn2");
+  apply_uniform_sparsity(m, 0.999, Criterion::kL2);
+  for (const auto* gate : m.gates()) {
+    std::size_t kept = 0;
+    for (auto v : gate->mask()) kept += v;
+    EXPECT_GE(kept, 1u);
+  }
+}
+
+TEST(ApplySparsities, RejectsWrongVectorLength) {
+  auto m = tiny("cnn2");
+  EXPECT_THROW(apply_sparsities(m, {0.5}, Criterion::kL2),
+               std::invalid_argument);
+}
+
+TEST(ProjectToBudget, AlreadyFeasibleIsUnchanged) {
+  auto m = tiny("resnet20");
+  std::vector<double> s(m.gates().size(), 0.9);
+  const auto out = project_to_flops_budget(m, s, 0.99);
+  EXPECT_EQ(out, s);
+}
+
+class BudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweep, ProjectionMeetsBudgetApproximately) {
+  const double budget = GetParam();
+  auto m = tiny("vgg11");
+  std::vector<double> s(m.gates().size(), 0.05);  // far too dense
+  const auto projected = project_to_flops_budget(m, s, budget);
+  apply_sparsities(m, projected, Criterion::kL2);
+  const double ratio = encoder_flops(m) / dense_encoder_flops(m.layers());
+  // ceil() quantization of tiny channel counts can overshoot a little.
+  EXPECT_LT(ratio, budget + 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
+                         ::testing::Values(0.8, 0.6, 0.4));
+
+TEST(OverallSparsity, CountsMaskedChannels) {
+  auto m = tiny("cnn2");
+  EXPECT_DOUBLE_EQ(overall_sparsity(m), 0.0);
+  apply_uniform_sparsity(m, 0.5, Criterion::kL2);
+  EXPECT_GT(overall_sparsity(m), 0.2);
+  EXPECT_LT(overall_sparsity(m), 0.8);
+}
+
+TEST(Pipelines, OneShotPruneReportsConsistentMetrics) {
+  auto m = tiny("cnn2");
+  data::SyntheticConfig dc;
+  dc.num_samples = 120;
+  dc.channels = 1;
+  dc.image_size = 8;
+  dc.num_classes = 10;
+  const auto ds = data::make_synthetic_with_labels(dc, [] {
+    std::vector<int> l(120);
+    for (int i = 0; i < 120; ++i) l[std::size_t(i)] = i % 10;
+    return l;
+  }());
+  common::Rng rng(3);
+  data::TrainOptions opts;
+  opts.lr = 0.05;
+  const auto r = one_shot_prune_and_finetune(m, ds, ds, Criterion::kL2, 0.4,
+                                             /*finetune_epochs=*/2, opts, rng);
+  EXPECT_LT(r.flops_ratio, 1.0);
+  EXPECT_GT(r.sparsity, 0.0);
+  EXPECT_GE(r.accuracy, 0.0);
+}
+
+TEST(Pipelines, SfpZeroesLowNormFiltersDuringTraining) {
+  auto m = tiny("cnn2");
+  data::SyntheticConfig dc;
+  dc.num_samples = 100;
+  dc.channels = 1;
+  dc.image_size = 8;
+  dc.num_classes = 10;
+  const auto ds = data::make_synthetic_with_labels(dc, [] {
+    std::vector<int> l(100);
+    for (int i = 0; i < 100; ++i) l[std::size_t(i)] = i % 10;
+    return l;
+  }());
+  common::Rng rng(5);
+  data::TrainOptions opts;
+  opts.lr = 0.05;
+  const auto r = sfp_train(m, ds, ds, 0.5, /*epochs=*/2, opts, rng);
+  EXPECT_LT(r.flops_ratio, 1.0);
+  EXPECT_GT(r.sparsity, 0.3);
+}
+
+}  // namespace
+}  // namespace spatl::prune

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "rl/ppo.hpp"
+#include "rl/pruning_env.hpp"
+
+namespace spatl::rl {
+namespace {
+
+models::SplitModel tiny_model(std::uint64_t seed = 5) {
+  models::ModelConfig cfg;
+  cfg.arch = "resnet20";
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25;
+  common::Rng rng(seed);
+  return models::build_model(cfg, rng);
+}
+
+graph::ComputeGraph tiny_graph() {
+  auto m = tiny_model();
+  return graph::build_compute_graph(m);
+}
+
+TEST(PolicyNetwork, ForwardProducesBoundedMeansAndFiniteValue) {
+  common::Rng rng(1);
+  PolicyNetwork net(graph::kNumNodeFeatures, 16, 16, rng);
+  const auto g = tiny_graph();
+  const auto out = net.forward(g);
+  ASSERT_EQ(out.action_means.size(), g.action_nodes.size());
+  for (double m : out.action_means) {
+    EXPECT_GT(m, 0.0);
+    EXPECT_LT(m, 1.0);
+  }
+  EXPECT_FALSE(std::isnan(out.value));
+}
+
+TEST(PolicyNetwork, GradientMatchesFiniteDifference) {
+  common::Rng rng(2);
+  PolicyNetwork net(graph::kNumNodeFeatures, 8, 8, rng);
+  const auto g = tiny_graph();
+
+  // Scalar loss: sum(mu) + value. Analytic gradient via backward, numeric
+  // via parameter perturbation.
+  auto loss = [&]() {
+    const auto out = net.forward(g);
+    double acc = out.value;
+    for (double m : out.action_means) acc += m;
+    return acc;
+  };
+  const auto base_out = net.forward(g);
+  net.zero_grad();
+  net.forward(g);
+  net.backward(std::vector<double>(base_out.action_means.size(), 1.0), 1.0);
+
+  double max_rel = 0.0;
+  // Small step: larger eps straddles GNN ReLU kinks and reports spurious
+  // error even though the analytic gradient is exact.
+  const float eps = 2e-3f;
+  for (auto& p : net.all_params()) {
+    nn::Tensor& w = *p.value;
+    const nn::Tensor& grad = *p.grad;
+    const std::size_t stride = std::max<std::size_t>(1, w.numel() / 6);
+    for (std::size_t i = 0; i < w.numel(); i += stride) {
+      const float orig = w[i];
+      auto probe = [&](float delta) {
+        w[i] = orig + delta;
+        const double l = loss();
+        w[i] = orig;
+        return l;
+      };
+      // Two-scale consistency: skip coordinates straddling a ReLU kink.
+      const double d1 = (probe(eps) - probe(-eps)) / (2.0 * eps);
+      const double d2 = (probe(eps / 2) - probe(-eps / 2)) / double(eps);
+      const double scale = std::max({1.0, std::fabs(d1), std::fabs(d2)});
+      if (std::fabs(d1 - d2) > 0.02 * scale) continue;
+      const double analytic = double(grad[i]);
+      const double denom = std::max({1.0, std::fabs(d2),
+                                     std::fabs(analytic)});
+      max_rel = std::max(max_rel, std::fabs(d2 - analytic) / denom);
+    }
+  }
+  EXPECT_LT(max_rel, 3e-2);
+}
+
+TEST(PolicyNetwork, HeadParamsAreStrictSubset) {
+  common::Rng rng(3);
+  PolicyNetwork net(graph::kNumNodeFeatures, 8, 8, rng);
+  const auto all = net.all_params();
+  const auto heads = net.head_params();
+  EXPECT_LT(heads.size(), all.size());
+  for (const auto& h : heads) {
+    EXPECT_TRUE(h.name.rfind("actor.", 0) == 0 ||
+                h.name.rfind("critic.", 0) == 0)
+        << h.name;
+  }
+}
+
+TEST(PolicyNetwork, CloneReproducesOutputs) {
+  common::Rng rng(4);
+  PolicyNetwork net(graph::kNumNodeFeatures, 8, 8, rng);
+  common::Rng rng2(999);
+  PolicyNetwork copy = net.clone(rng2);
+  const auto g = tiny_graph();
+  const auto a = net.forward(g);
+  const auto b = copy.forward(g);
+  ASSERT_EQ(a.action_means.size(), b.action_means.size());
+  for (std::size_t i = 0; i < a.action_means.size(); ++i) {
+    EXPECT_NEAR(a.action_means[i], b.action_means[i], 1e-6);
+  }
+  EXPECT_NEAR(a.value, b.value, 1e-5);
+}
+
+TEST(PpoAgent, ActExploreRecordsPendingTransition) {
+  PpoConfig cfg;
+  PpoAgent agent(graph::kNumNodeFeatures, cfg, 7);
+  const auto g = tiny_graph();
+  EXPECT_THROW(agent.observe_reward(0.5), std::logic_error);
+  agent.act(g, /*explore=*/true);
+  agent.observe_reward(0.5);
+  EXPECT_EQ(agent.buffer_size(), 1u);
+  agent.update();
+  EXPECT_EQ(agent.buffer_size(), 0u);
+}
+
+TEST(PpoAgent, DeterministicActionEqualsPolicyMean) {
+  PpoConfig cfg;
+  PpoAgent agent(graph::kNumNodeFeatures, cfg, 8);
+  const auto g = tiny_graph();
+  const auto a1 = agent.act(g, /*explore=*/false);
+  const auto a2 = agent.act(g, /*explore=*/false);
+  EXPECT_EQ(a1, a2);  // no sampling noise
+}
+
+TEST(PpoAgent, LearnsToMoveActionsTowardRewardedRegion) {
+  // Synthetic bandit: reward = 1 - mean |a - target|, with the target
+  // placed far from the initial policy so there is a real gradient to
+  // follow (near the optimum the z-scored advantages are pure noise).
+  PpoConfig cfg;
+  cfg.lr = 2e-2;
+  cfg.action_std = 0.3;
+  PpoAgent agent(graph::kNumNodeFeatures, cfg, 9);
+  const auto g = tiny_graph();
+
+  auto mean_action = [&]() {
+    const auto a = agent.act(g, /*explore=*/false);
+    double s = 0.0;
+    for (double v : a) s += v;
+    return s / double(a.size());
+  };
+
+  const double target = mean_action() > 0.5 ? 0.1 : 0.9;
+  const double before = std::fabs(mean_action() - target);
+  ASSERT_GT(before, 0.3);
+  for (int round = 0; round < 30; ++round) {
+    for (int e = 0; e < 8; ++e) {
+      const auto actions = agent.act(g, /*explore=*/true);
+      double dist = 0.0;
+      for (double a : actions) dist += std::fabs(a - target);
+      agent.observe_reward(1.0 - dist / double(actions.size()));
+    }
+    agent.update();
+  }
+  const double after = std::fabs(mean_action() - target);
+  EXPECT_LT(after, before - 0.1) << "policy did not improve";
+}
+
+TEST(PpoAgent, FinetuneFreezesGnnTrunk) {
+  PpoConfig cfg;
+  cfg.lr = 5e-2;
+  PpoAgent agent(graph::kNumNodeFeatures, cfg, 10);
+  agent.set_finetune(true);
+  const auto g = tiny_graph();
+  const auto trunk_before =
+      nn::flatten_values(agent.network().all_params());
+  for (int e = 0; e < 4; ++e) {
+    agent.act(g, true);
+    agent.observe_reward(e % 2 == 0 ? 1.0 : 0.0);
+  }
+  agent.update();
+  const auto trunk_after = nn::flatten_values(agent.network().all_params());
+  // Heads moved, GNN trunk identical: compare the leading (gnn.*) segment.
+  const auto heads = agent.network().head_params();
+  const std::size_t head_count = nn::param_count(heads);
+  const std::size_t trunk_count = trunk_before.size() - head_count;
+  bool trunk_same = true;
+  for (std::size_t i = 0; i < trunk_count; ++i) {
+    if (trunk_before[i] != trunk_after[i]) trunk_same = false;
+  }
+  bool heads_moved = false;
+  for (std::size_t i = trunk_count; i < trunk_before.size(); ++i) {
+    if (trunk_before[i] != trunk_after[i]) heads_moved = true;
+  }
+  EXPECT_TRUE(trunk_same);
+  EXPECT_TRUE(heads_moved);
+}
+
+TEST(PruningEnv, StepMeetsBudgetAndReportsReward) {
+  auto m = tiny_model();
+  data::SyntheticConfig dc;
+  dc.num_samples = 80;
+  dc.image_size = 8;
+  const auto val = data::make_synth_cifar(dc);
+  PruningEnvConfig cfg;
+  cfg.flops_budget = 0.6;
+  PruningEnv env(m, val, cfg);
+  const auto g = env.reset();
+  EXPECT_EQ(g.action_nodes.size(), m.gates().size());
+  const auto r = env.step(std::vector<double>(m.gates().size(), 0.1));
+  EXPECT_LE(r.flops_ratio, 0.75);  // ceil quantization slack
+  EXPECT_GE(r.reward, 0.0);
+  EXPECT_LE(r.reward, 1.0);
+}
+
+TEST(PruningEnv, TrainOnPruningProducesHistory) {
+  auto m = tiny_model();
+  data::SyntheticConfig dc;
+  dc.num_samples = 60;
+  dc.image_size = 8;
+  const auto val = data::make_synth_cifar(dc);
+  PruningEnv env(m, val, {});
+  PpoConfig cfg;
+  PpoAgent agent(graph::kNumNodeFeatures, cfg, 11);
+  const auto h = train_on_pruning(agent, env, /*rounds=*/3,
+                                  /*episodes_per_round=*/2);
+  ASSERT_EQ(h.rewards.size(), 3u);
+  ASSERT_EQ(h.best_so_far.size(), 3u);
+  EXPECT_GE(h.best_reward, h.rewards[0] - 1e-9);
+  // best_so_far is nondecreasing.
+  for (std::size_t i = 1; i < h.best_so_far.size(); ++i) {
+    EXPECT_GE(h.best_so_far[i], h.best_so_far[i - 1]);
+  }
+  // Model is left dense.
+  for (double k : m.gate_keep_fractions()) EXPECT_DOUBLE_EQ(k, 1.0);
+}
+
+}  // namespace
+}  // namespace spatl::rl

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "models/checkpoint.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/serialize.hpp"
+
+namespace spatl {
+namespace {
+
+TEST(Serialize, RoundTripsNamedTensors) {
+  common::Rng rng(1);
+  std::vector<tensor::NamedTensor> entries;
+  entries.push_back({"a", tensor::Tensor::randn({3, 4}, rng)});
+  entries.push_back({"layer.weight", tensor::Tensor::randn({2, 2, 2}, rng)});
+  entries.push_back({"scalar-ish", tensor::Tensor({1}, 42.0f)});
+
+  std::stringstream buf;
+  tensor::write_tensors(buf, entries);
+  const auto loaded = tensor::read_tensors(buf);
+  ASSERT_EQ(loaded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, entries[i].name);
+    EXPECT_TRUE(tensor::allclose(loaded[i].value, entries[i].value, 0.0f));
+  }
+}
+
+TEST(Serialize, EmptyListRoundTrips) {
+  std::stringstream buf;
+  tensor::write_tensors(buf, {});
+  EXPECT_TRUE(tensor::read_tensors(buf).empty());
+}
+
+TEST(Serialize, RejectsGarbageAndTruncation) {
+  {
+    std::stringstream buf;
+    buf << "this is not a spatl file at all";
+    EXPECT_THROW(tensor::read_tensors(buf), std::runtime_error);
+  }
+  {
+    common::Rng rng(2);
+    std::stringstream buf;
+    tensor::write_tensors(buf, {{"x", tensor::Tensor::randn({64}, rng)}});
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(tensor::read_tensors(cut), std::runtime_error);
+  }
+}
+
+TEST(Serialize, FileHelpersWork) {
+  const std::string path = ::testing::TempDir() + "/spatl_ser_test.bin";
+  common::Rng rng(3);
+  tensor::save_tensors(path, {{"w", tensor::Tensor::randn({5}, rng)}});
+  const auto loaded = tensor::load_tensors(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].name, "w");
+  std::remove(path.c_str());
+  EXPECT_THROW(tensor::load_tensors(path), std::runtime_error);
+}
+
+TEST(Checkpoint, RestoresExactForwardBehaviour) {
+  models::ModelConfig cfg;
+  cfg.arch = "resnet20";
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25;
+  common::Rng rng(5);
+  auto a = models::build_model(cfg, rng);
+  auto b = models::build_model(cfg, rng);  // different weights
+
+  // Touch BN running stats so the checkpoint has non-default buffers.
+  nn::Tensor x = nn::Tensor::randn({4, 3, 8, 8}, rng);
+  a.forward(x, /*train=*/true);
+
+  const std::string path = ::testing::TempDir() + "/spatl_ckpt_test.bin";
+  models::save_checkpoint(path, a);
+  models::load_checkpoint(path, b);
+  EXPECT_TRUE(tensor::allclose(a.forward(x, false), b.forward(x, false),
+                               1e-6f));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongArchitecture) {
+  models::ModelConfig cfg;
+  cfg.arch = "cnn2";
+  cfg.in_channels = 3;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25;
+  common::Rng rng(7);
+  auto cnn = models::build_model(cfg, rng);
+  const std::string path = ::testing::TempDir() + "/spatl_ckpt_arch.bin";
+  models::save_checkpoint(path, cnn);
+
+  models::ModelConfig other = cfg;
+  other.arch = "resnet20";
+  auto resnet = models::build_model(other, rng);
+  EXPECT_THROW(models::load_checkpoint(path, resnet), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spatl

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace spatl::tensor {
+namespace {
+
+TEST(Tensor, DefaultConstructedIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ShapeConstructionZeroInitializes) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstruction) {
+  Tensor t({3, 3}, 2.5f);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorRejectsMismatchedSize) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, MultiDimAccess) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.at({1, 2}), 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesDataAndRejectsBadShape) {
+  Tensor t({2, 6});
+  t[7] = 3.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t[7], 3.0f);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b({2, 2}, std::vector<float>{10, 20, 30, 40});
+  Tensor c = a + b;
+  EXPECT_EQ(c[0], 11.0f);
+  EXPECT_EQ(c[3], 44.0f);
+  c -= a;
+  EXPECT_TRUE(allclose(c, b));
+  Tensor d = a * b;
+  EXPECT_EQ(d[2], 90.0f);
+  d *= 0.5f;
+  EXPECT_EQ(d[2], 45.0f);
+}
+
+TEST(Tensor, ArithmeticRejectsShapeMismatch) {
+  Tensor a({2, 2});
+  Tensor b({4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a({3}, std::vector<float>{1, 1, 1});
+  Tensor b({3}, std::vector<float>{2, 4, 6});
+  a.add_scaled(b, 0.5f);
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_EQ(a[2], 4.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{-1, 2, -3, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.5f);
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.norm(), std::sqrt(30.0f));
+}
+
+TEST(Tensor, RandnMatchesRequestedMoments) {
+  common::Rng rng(3);
+  Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.1f);
+  double var = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    var += (t[i] - t.mean()) * (t[i] - t.mean());
+  }
+  var /= double(t.numel());
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Tensor, RandUniformRespectsBounds) {
+  common::Rng rng(5);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -2.0f, 3.0f);
+  EXPECT_GE(t.min(), -2.0f);
+  EXPECT_LT(t.max(), 3.0f);
+}
+
+TEST(Tensor, AllcloseToleranceAndShape) {
+  Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+  Tensor b({2}, std::vector<float>{1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(allclose(a, b));
+  Tensor c({2}, std::vector<float>{1.1f, 2.0f});
+  EXPECT_FALSE(allclose(a, c));
+  Tensor d({1, 2});
+  EXPECT_FALSE(allclose(a, d));
+}
+
+TEST(Tensor, ShapeToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+}  // namespace
+}  // namespace spatl::tensor

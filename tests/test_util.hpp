@@ -1,0 +1,106 @@
+// Shared test helpers: finite-difference gradient checking for Modules.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace spatl::testutil {
+
+using nn::Tensor;
+
+/// Scalar loss used by the gradient checker: loss = sum(output * probe)
+/// with a fixed random probe, so d(loss)/d(output) = probe.
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+};
+
+/// Finite-difference check of d(loss)/d(input) and every parameter gradient
+/// of `module` at the given input. float32 arithmetic limits precision, so
+/// callers should accept ~1e-2 absolute error for deep compositions.
+inline GradCheckResult grad_check(nn::Module& module, Tensor input,
+                                  bool train = true, float eps = 1e-2f,
+                                  std::uint64_t probe_seed = 7) {
+  common::Rng probe_rng(probe_seed);
+  Tensor out = module.forward(input, train);
+  Tensor probe = Tensor::randn(out.shape(), probe_rng);
+
+  module.zero_grad();
+  // Re-run forward so cached state matches the analytic backward exactly
+  // (stateful layers like Dropout must see the same mask: check callers).
+  out = module.forward(input, train);
+  Tensor dinput = module.backward(probe);
+
+  GradCheckResult result;
+  auto record = [&](double analytic, double numeric) {
+    const double abs_err = std::fabs(analytic - numeric);
+    const double denom =
+        std::max(1.0, std::max(std::fabs(analytic), std::fabs(numeric)));
+    result.max_abs_err = std::max(result.max_abs_err, abs_err);
+    result.max_rel_err = std::max(result.max_rel_err, abs_err / denom);
+  };
+
+  auto loss_at = [&](const Tensor& x) {
+    Tensor o = module.forward(x, train);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < o.numel(); ++i) {
+      acc += double(o[i]) * probe[i];
+    }
+    return acc;
+  };
+
+  // Central differences at two scales; if they disagree the point straddles
+  // a ReLU/max kink where the derivative does not exist — skip it rather
+  // than reporting a spurious failure (Richardson consistency check).
+  auto numeric_or_skip = [&](auto&& eval, double* numeric) {
+    const double d1 = (eval(eps) - eval(-eps)) / (2.0 * double(eps));
+    const double d2 =
+        (eval(eps / 2) - eval(-eps / 2)) / (2.0 * double(eps) / 2.0);
+    const double scale = std::max({1.0, std::fabs(d1), std::fabs(d2)});
+    if (std::fabs(d1 - d2) > 0.05 * scale) return false;
+    *numeric = d2;
+    return true;
+  };
+
+  // Check d(loss)/d(input) on a subsample of coordinates for speed.
+  const std::size_t input_stride = std::max<std::size_t>(1, input.numel() / 24);
+  for (std::size_t i = 0; i < input.numel(); i += input_stride) {
+    double numeric = 0.0;
+    const bool usable = numeric_or_skip(
+        [&](float delta) {
+          Tensor x = input;
+          x[i] += delta;
+          return loss_at(x);
+        },
+        &numeric);
+    if (usable) record(double(dinput[i]), numeric);
+  }
+
+  // Check every parameter gradient (subsampled).
+  for (auto& p : module.params()) {
+    Tensor& w = *p.value;
+    const Tensor& g = *p.grad;
+    const std::size_t stride = std::max<std::size_t>(1, w.numel() / 16);
+    for (std::size_t i = 0; i < w.numel(); i += stride) {
+      const float orig = w[i];
+      double numeric = 0.0;
+      const bool usable = numeric_or_skip(
+          [&](float delta) {
+            w[i] = orig + delta;
+            const double l = loss_at(input);
+            w[i] = orig;
+            return l;
+          },
+          &numeric);
+      if (usable) record(double(g[i]), numeric);
+    }
+  }
+  return result;
+}
+
+}  // namespace spatl::testutil

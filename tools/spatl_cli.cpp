@@ -1,0 +1,240 @@
+// spatl — command-line driver for the library.
+//
+// Subcommands:
+//   train    run federated training and optionally checkpoint the result
+//   evaluate load a checkpoint and evaluate it on fresh synthetic data
+//   prune    run the salient-selection agent as a pruner on one model
+//   info     print a model's structure, parameter and FLOPs budget
+//
+// Examples:
+//   spatl train --algo spatl --arch resnet20 --clients 10 --rounds 20 \
+//         --beta 0.5 --out run.ckpt
+//   spatl evaluate --ckpt run.ckpt --arch resnet20
+//   spatl prune --arch resnet20 --budget 0.6
+//   spatl info --arch vgg11 --input 32 --width 1.0
+#include <cstdio>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "core/spatl.hpp"
+#include "core/transfer.hpp"
+#include "data/loader.hpp"
+#include "data/synthetic.hpp"
+#include "fl/compression.hpp"
+#include "fl/local_only.hpp"
+#include "fl/runner.hpp"
+#include "fl/server_opt.hpp"
+#include "models/checkpoint.hpp"
+#include "prune/flops.hpp"
+#include "prune/pipelines.hpp"
+
+using namespace spatl;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spatl <train|evaluate|prune|info> [--flags]\n"
+               "  train    --algo fedavg|fedprox|fednova|scaffold|fedavgm|"
+               "fedadam|fedavg+topk|fedavg+int8|local-only|spatl\n"
+               "           --arch ARCH --clients N --rounds R --beta B\n"
+               "           [--sample-ratio F] [--epochs E] [--lr F]\n"
+               "           [--input PX] [--width F] [--seed S] [--out CKPT]\n"
+               "  evaluate --ckpt FILE --arch ARCH [--input PX] [--width F]\n"
+               "  prune    --arch ARCH --budget F [--rl-rounds N]\n"
+               "  info     --arch ARCH [--input PX] [--width F]\n");
+  return 2;
+}
+
+models::ModelConfig model_config(const common::Flags& flags) {
+  models::ModelConfig cfg;
+  cfg.arch = flags.get("arch", "resnet20");
+  cfg.input_size = std::size_t(flags.get_int("input", 12));
+  cfg.width_mult = flags.get_double("width", 0.25);
+  if (cfg.arch == "cnn2") cfg.in_channels = 1;
+  if (!models::is_known_arch(cfg.arch)) {
+    throw std::invalid_argument("unknown --arch " + cfg.arch);
+  }
+  return cfg;
+}
+
+data::Dataset make_data(const models::ModelConfig& mc, std::size_t samples,
+                        std::uint64_t seed) {
+  data::SyntheticConfig dc;
+  dc.num_samples = samples;
+  dc.image_size = mc.input_size;
+  dc.channels = mc.in_channels;
+  dc.num_classes = mc.num_classes;
+  dc.seed = seed;
+  return data::make_synthetic_with_labels(dc, [&] {
+    std::vector<int> labels(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      labels[i] = int(i % mc.num_classes);
+    }
+    common::Rng shuffle_rng(seed ^ 0xBEEF);
+    shuffle_rng.shuffle(labels);
+    return labels;
+  }());
+}
+
+int cmd_train(const common::Flags& flags) {
+  const std::string algo = flags.get("algo", "spatl");
+  const std::size_t clients = std::size_t(flags.get_int("clients", 10));
+  const std::size_t rounds = std::size_t(flags.get_int("rounds", 10));
+  const double beta = flags.get_double("beta", 0.5);
+  const std::uint64_t seed = std::uint64_t(flags.get_int("seed", 42));
+
+  fl::FlConfig cfg;
+  cfg.model = model_config(flags);
+  cfg.local.epochs = std::size_t(flags.get_int("epochs", 2));
+  cfg.local.batch_size = 16;
+  cfg.local.lr = flags.get_double("lr", 0.05);
+  cfg.seed = seed;
+
+  const auto source =
+      make_data(cfg.model, clients * 80, seed ^ 0xDA7AULL);
+  common::Rng env_rng(seed);
+  fl::FlEnvironment env(source, clients, beta, 0.25, env_rng);
+
+  std::unique_ptr<fl::FederatedAlgorithm> algorithm;
+  if (algo == "spatl") {
+    core::SpatlOptions opts;
+    opts.flops_budget = flags.get_double("budget", 0.6);
+    opts.agent_finetune_rounds = 2;
+    opts.agent_finetune_episodes = 2;
+    algorithm = std::make_unique<core::SpatlAlgorithm>(env, cfg, opts);
+  } else if (algo == "fedavgm" || algo == "fedadam") {
+    fl::ServerOptConfig sopt;
+    sopt.optimizer = algo == "fedavgm" ? fl::ServerOptimizer::kMomentum
+                                       : fl::ServerOptimizer::kAdam;
+    sopt.lr = algo == "fedadam" ? 0.1 : 0.5;
+    sopt.momentum = 0.5;
+    algorithm = std::make_unique<fl::ServerOptFedAvg>(env, cfg, sopt);
+  } else if (algo == "local-only") {
+    algorithm = std::make_unique<fl::LocalOnly>(env, cfg);
+  } else if (algo == "fedavg+topk") {
+    algorithm = std::make_unique<fl::CompressedFedAvg>(
+        env, cfg, fl::Codec::kTopK, flags.get_double("topk", 0.1));
+  } else if (algo == "fedavg+int8") {
+    algorithm = std::make_unique<fl::CompressedFedAvg>(env, cfg,
+                                                       fl::Codec::kInt8);
+  } else {
+    algorithm = fl::make_baseline(algo, env, cfg);
+  }
+
+  fl::RunOptions ro;
+  ro.rounds = rounds;
+  ro.sample_ratio = flags.get_double("sample-ratio", 1.0);
+  const auto result = fl::run_federated(
+      *algorithm, ro, [&](std::size_t round, const fl::RoundRecord& rec) {
+        std::printf("round %3zu  acc %5.1f%%  loss %.3f  comm %s\n", round,
+                    rec.avg_accuracy * 100.0, rec.avg_loss,
+                    common::format_bytes(rec.cumulative_bytes).c_str());
+      });
+  std::printf("\n%s: final %5.1f%% (best %5.1f%%), %s communicated\n",
+              algorithm->name().c_str(), result.final_accuracy * 100.0,
+              result.best_accuracy * 100.0,
+              common::format_bytes(result.total_bytes).c_str());
+
+  const std::string out = flags.get("out");
+  if (!out.empty()) {
+    models::save_checkpoint(out, algorithm->global_model());
+    std::printf("checkpoint written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_evaluate(const common::Flags& flags) {
+  const std::string ckpt = flags.get("ckpt");
+  if (ckpt.empty()) return usage();
+  const auto mc = model_config(flags);
+  common::Rng rng(1);
+  auto model = models::build_model(mc, rng);
+  models::load_checkpoint(ckpt, model);
+  const auto data =
+      make_data(mc, std::size_t(flags.get_int("samples", 200)),
+                std::uint64_t(flags.get_int("seed", 42)) ^ 0xDA7AULL);
+  const auto r = data::evaluate(model, data);
+  std::printf("%s on %zu samples: accuracy %5.1f%%, loss %.3f\n",
+              mc.arch.c_str(), r.samples, r.accuracy * 100.0, r.loss);
+  return 0;
+}
+
+int cmd_prune(const common::Flags& flags) {
+  const auto mc = model_config(flags);
+  const double budget = flags.get_double("budget", 0.6);
+  common::Rng rng(std::uint64_t(flags.get_int("seed", 42)));
+  auto model = models::build_model(mc, rng);
+
+  const auto train = make_data(mc, 400, 7);
+  const auto val = make_data(mc, 120, 8);
+  data::TrainOptions topts;
+  topts.epochs = std::size_t(flags.get_int("epochs", 4));
+  topts.lr = 0.05;
+  data::train_supervised(model, train, topts, rng, model.all_params());
+  const double dense_acc = data::evaluate(model, val).accuracy;
+
+  rl::PruningEnv env(model, val, {.flops_budget = budget});
+  rl::PpoAgent agent(graph::kNumNodeFeatures, rl::PpoConfig{},
+                     std::uint64_t(flags.get_int("seed", 42)) ^ 0xA6E47ULL);
+  const auto hist = rl::train_on_pruning(
+      agent, env, std::size_t(flags.get_int("rl-rounds", 6)), 3);
+  prune::apply_sparsities(model, hist.best_sparsities,
+                          prune::Criterion::kL2);
+  const double pruned_acc = data::evaluate(model, val).accuracy;
+  const double ratio =
+      prune::encoder_flops(model) /
+      prune::dense_encoder_flops(model.layers());
+  std::printf("%s: dense %5.1f%% -> pruned %5.1f%% at %4.1f%% FLOPs "
+              "(sparsity %4.1f%%)\n",
+              mc.arch.c_str(), dense_acc * 100.0, pruned_acc * 100.0,
+              ratio * 100.0, prune::overall_sparsity(model) * 100.0);
+  return 0;
+}
+
+int cmd_info(const common::Flags& flags) {
+  const auto mc = model_config(flags);
+  common::Rng rng(1);
+  auto model = models::build_model(mc, rng);
+  std::printf("%s (input %zux%zu, width x%.2f)\n", mc.arch.c_str(),
+              mc.input_size, mc.input_size, mc.width_mult);
+  std::printf("  encoder params  : %s\n",
+              common::format_count(double(model.encoder_param_count())).c_str());
+  std::printf("  predictor params: %s\n",
+              common::format_count(double(model.predictor_param_count())).c_str());
+  std::printf("  encoder FLOPs   : %s\n",
+              common::format_count(
+                  prune::dense_encoder_flops(model.layers())).c_str());
+  std::printf("  prunable gates  : %zu\n", model.gates().size());
+  std::printf("  layers:\n");
+  for (std::size_t i = 0; i < model.layers().size(); ++i) {
+    const auto& l = model.layers()[i];
+    std::printf("   %3zu %-14s %4zu -> %-4zu  %zux%zu -> %zux%zu%s%s\n", i,
+                models::layer_kind_name(l.kind).c_str(), l.in_ch, l.out_ch,
+                l.in_h, l.in_w, l.out_h, l.out_w,
+                l.out_gate >= 0 ? "  [gated]" : "",
+                l.skip_from >= 0 ? "  [skip]" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  common::set_log_level(common::LogLevel::kWarn);
+  try {
+    common::Flags flags(argc, argv, 2);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "evaluate") return cmd_evaluate(flags);
+    if (cmd == "prune") return cmd_prune(flags);
+    if (cmd == "info") return cmd_info(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
