@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gradctrl.dir/bench_ablation_gradctrl.cpp.o"
+  "CMakeFiles/bench_ablation_gradctrl.dir/bench_ablation_gradctrl.cpp.o.d"
+  "bench_ablation_gradctrl"
+  "bench_ablation_gradctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gradctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

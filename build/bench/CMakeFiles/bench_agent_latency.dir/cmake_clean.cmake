@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agent_latency.dir/bench_agent_latency.cpp.o"
+  "CMakeFiles/bench_agent_latency.dir/bench_agent_latency.cpp.o.d"
+  "bench_agent_latency"
+  "bench_agent_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agent_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

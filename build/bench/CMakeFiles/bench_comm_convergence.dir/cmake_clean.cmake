@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_convergence.dir/bench_comm_convergence.cpp.o"
+  "CMakeFiles/bench_comm_convergence.dir/bench_comm_convergence.cpp.o.d"
+  "bench_comm_convergence"
+  "bench_comm_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_comm_target_accuracy.cpp" "bench/CMakeFiles/bench_comm_target_accuracy.dir/bench_comm_target_accuracy.cpp.o" "gcc" "bench/CMakeFiles/bench_comm_target_accuracy.dir/bench_comm_target_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spatl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/spatl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/spatl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spatl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/spatl_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/spatl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/spatl_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/spatl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spatl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spatl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

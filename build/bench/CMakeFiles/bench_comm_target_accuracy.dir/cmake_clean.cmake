@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_target_accuracy.dir/bench_comm_target_accuracy.cpp.o"
+  "CMakeFiles/bench_comm_target_accuracy.dir/bench_comm_target_accuracy.cpp.o.d"
+  "bench_comm_target_accuracy"
+  "bench_comm_target_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_target_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

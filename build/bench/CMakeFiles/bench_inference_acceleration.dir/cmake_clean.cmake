@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inference_acceleration.dir/bench_inference_acceleration.cpp.o"
+  "CMakeFiles/bench_inference_acceleration.dir/bench_inference_acceleration.cpp.o.d"
+  "bench_inference_acceleration"
+  "bench_inference_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inference_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

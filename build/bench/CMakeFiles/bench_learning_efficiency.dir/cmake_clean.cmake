@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_learning_efficiency.dir/bench_learning_efficiency.cpp.o"
+  "CMakeFiles/bench_learning_efficiency.dir/bench_learning_efficiency.cpp.o.d"
+  "bench_learning_efficiency"
+  "bench_learning_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_learning_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

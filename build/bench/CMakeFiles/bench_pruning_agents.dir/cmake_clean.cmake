@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pruning_agents.dir/bench_pruning_agents.cpp.o"
+  "CMakeFiles/bench_pruning_agents.dir/bench_pruning_agents.cpp.o.d"
+  "bench_pruning_agents"
+  "bench_pruning_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pruning_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rl_finetune.dir/bench_rl_finetune.cpp.o"
+  "CMakeFiles/bench_rl_finetune.dir/bench_rl_finetune.cpp.o.d"
+  "bench_rl_finetune"
+  "bench_rl_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rl_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

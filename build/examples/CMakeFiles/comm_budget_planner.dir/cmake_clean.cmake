@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_budget_planner.dir/comm_budget_planner.cpp.o"
+  "CMakeFiles/comm_budget_planner.dir/comm_budget_planner.cpp.o.d"
+  "comm_budget_planner"
+  "comm_budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

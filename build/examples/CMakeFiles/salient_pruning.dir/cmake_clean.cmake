@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salient_pruning.dir/salient_pruning.cpp.o"
+  "CMakeFiles/salient_pruning.dir/salient_pruning.cpp.o.d"
+  "salient_pruning"
+  "salient_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salient_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_common.dir/csv.cpp.o"
+  "CMakeFiles/spatl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/spatl_common.dir/flags.cpp.o"
+  "CMakeFiles/spatl_common.dir/flags.cpp.o.d"
+  "CMakeFiles/spatl_common.dir/log.cpp.o"
+  "CMakeFiles/spatl_common.dir/log.cpp.o.d"
+  "CMakeFiles/spatl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/spatl_common.dir/thread_pool.cpp.o.d"
+  "libspatl_common.a"
+  "libspatl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspatl_common.a"
+)

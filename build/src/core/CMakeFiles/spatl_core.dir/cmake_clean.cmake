@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_core.dir/spatl.cpp.o"
+  "CMakeFiles/spatl_core.dir/spatl.cpp.o.d"
+  "CMakeFiles/spatl_core.dir/transfer.cpp.o"
+  "CMakeFiles/spatl_core.dir/transfer.cpp.o.d"
+  "libspatl_core.a"
+  "libspatl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

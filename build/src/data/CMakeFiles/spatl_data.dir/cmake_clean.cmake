@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_data.dir/dataset.cpp.o"
+  "CMakeFiles/spatl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/spatl_data.dir/loader.cpp.o"
+  "CMakeFiles/spatl_data.dir/loader.cpp.o.d"
+  "CMakeFiles/spatl_data.dir/metrics.cpp.o"
+  "CMakeFiles/spatl_data.dir/metrics.cpp.o.d"
+  "CMakeFiles/spatl_data.dir/partition.cpp.o"
+  "CMakeFiles/spatl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/spatl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/spatl_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/spatl_data.dir/train.cpp.o"
+  "CMakeFiles/spatl_data.dir/train.cpp.o.d"
+  "libspatl_data.a"
+  "libspatl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

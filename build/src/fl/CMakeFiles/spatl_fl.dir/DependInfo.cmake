@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/algorithm.cpp" "src/fl/CMakeFiles/spatl_fl.dir/algorithm.cpp.o" "gcc" "src/fl/CMakeFiles/spatl_fl.dir/algorithm.cpp.o.d"
+  "/root/repo/src/fl/compression.cpp" "src/fl/CMakeFiles/spatl_fl.dir/compression.cpp.o" "gcc" "src/fl/CMakeFiles/spatl_fl.dir/compression.cpp.o.d"
+  "/root/repo/src/fl/environment.cpp" "src/fl/CMakeFiles/spatl_fl.dir/environment.cpp.o" "gcc" "src/fl/CMakeFiles/spatl_fl.dir/environment.cpp.o.d"
+  "/root/repo/src/fl/flat_utils.cpp" "src/fl/CMakeFiles/spatl_fl.dir/flat_utils.cpp.o" "gcc" "src/fl/CMakeFiles/spatl_fl.dir/flat_utils.cpp.o.d"
+  "/root/repo/src/fl/local_only.cpp" "src/fl/CMakeFiles/spatl_fl.dir/local_only.cpp.o" "gcc" "src/fl/CMakeFiles/spatl_fl.dir/local_only.cpp.o.d"
+  "/root/repo/src/fl/runner.cpp" "src/fl/CMakeFiles/spatl_fl.dir/runner.cpp.o" "gcc" "src/fl/CMakeFiles/spatl_fl.dir/runner.cpp.o.d"
+  "/root/repo/src/fl/server_opt.cpp" "src/fl/CMakeFiles/spatl_fl.dir/server_opt.cpp.o" "gcc" "src/fl/CMakeFiles/spatl_fl.dir/server_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/spatl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/spatl_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/spatl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spatl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spatl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

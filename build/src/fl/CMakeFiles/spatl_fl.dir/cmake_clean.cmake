@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_fl.dir/algorithm.cpp.o"
+  "CMakeFiles/spatl_fl.dir/algorithm.cpp.o.d"
+  "CMakeFiles/spatl_fl.dir/compression.cpp.o"
+  "CMakeFiles/spatl_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/spatl_fl.dir/environment.cpp.o"
+  "CMakeFiles/spatl_fl.dir/environment.cpp.o.d"
+  "CMakeFiles/spatl_fl.dir/flat_utils.cpp.o"
+  "CMakeFiles/spatl_fl.dir/flat_utils.cpp.o.d"
+  "CMakeFiles/spatl_fl.dir/local_only.cpp.o"
+  "CMakeFiles/spatl_fl.dir/local_only.cpp.o.d"
+  "CMakeFiles/spatl_fl.dir/runner.cpp.o"
+  "CMakeFiles/spatl_fl.dir/runner.cpp.o.d"
+  "CMakeFiles/spatl_fl.dir/server_opt.cpp.o"
+  "CMakeFiles/spatl_fl.dir/server_opt.cpp.o.d"
+  "libspatl_fl.a"
+  "libspatl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_graph.dir/compute_graph.cpp.o"
+  "CMakeFiles/spatl_graph.dir/compute_graph.cpp.o.d"
+  "libspatl_graph.a"
+  "libspatl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

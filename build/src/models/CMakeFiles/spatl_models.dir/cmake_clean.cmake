@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_models.dir/checkpoint.cpp.o"
+  "CMakeFiles/spatl_models.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/spatl_models.dir/split_model.cpp.o"
+  "CMakeFiles/spatl_models.dir/split_model.cpp.o.d"
+  "libspatl_models.a"
+  "libspatl_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/spatl_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/spatl_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/spatl_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/spatl_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/depthwise.cpp" "src/nn/CMakeFiles/spatl_nn.dir/depthwise.cpp.o" "gcc" "src/nn/CMakeFiles/spatl_nn.dir/depthwise.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/spatl_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/spatl_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/spatl_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/spatl_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/spatl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/spatl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/spatl_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/spatl_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/spatl_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/spatl_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/spatl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spatl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

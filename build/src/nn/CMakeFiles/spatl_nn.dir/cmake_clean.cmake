@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/spatl_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/spatl_nn.dir/conv.cpp.o"
+  "CMakeFiles/spatl_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/spatl_nn.dir/depthwise.cpp.o"
+  "CMakeFiles/spatl_nn.dir/depthwise.cpp.o.d"
+  "CMakeFiles/spatl_nn.dir/layers.cpp.o"
+  "CMakeFiles/spatl_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/spatl_nn.dir/module.cpp.o"
+  "CMakeFiles/spatl_nn.dir/module.cpp.o.d"
+  "CMakeFiles/spatl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/spatl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/spatl_nn.dir/pool.cpp.o"
+  "CMakeFiles/spatl_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/spatl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/spatl_nn.dir/sequential.cpp.o.d"
+  "libspatl_nn.a"
+  "libspatl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_prune.dir/flops.cpp.o"
+  "CMakeFiles/spatl_prune.dir/flops.cpp.o.d"
+  "CMakeFiles/spatl_prune.dir/pipelines.cpp.o"
+  "CMakeFiles/spatl_prune.dir/pipelines.cpp.o.d"
+  "CMakeFiles/spatl_prune.dir/saliency.cpp.o"
+  "CMakeFiles/spatl_prune.dir/saliency.cpp.o.d"
+  "libspatl_prune.a"
+  "libspatl_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

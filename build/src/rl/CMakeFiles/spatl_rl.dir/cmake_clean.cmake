@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_rl.dir/policy_net.cpp.o"
+  "CMakeFiles/spatl_rl.dir/policy_net.cpp.o.d"
+  "CMakeFiles/spatl_rl.dir/ppo.cpp.o"
+  "CMakeFiles/spatl_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/spatl_rl.dir/pruning_env.cpp.o"
+  "CMakeFiles/spatl_rl.dir/pruning_env.cpp.o.d"
+  "libspatl_rl.a"
+  "libspatl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

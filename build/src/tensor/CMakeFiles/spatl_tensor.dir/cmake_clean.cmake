@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/spatl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/spatl_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/spatl_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/spatl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/spatl_tensor.dir/tensor.cpp.o.d"
+  "libspatl_tensor.a"
+  "libspatl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

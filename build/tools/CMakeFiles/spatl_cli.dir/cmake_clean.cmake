@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatl_cli.dir/spatl_cli.cpp.o"
+  "CMakeFiles/spatl_cli.dir/spatl_cli.cpp.o.d"
+  "spatl"
+  "spatl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
