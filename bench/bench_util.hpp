@@ -102,6 +102,7 @@ struct AlgoRun {
   fl::RunResult result;
   double uplink_bytes = 0.0;
   double downlink_bytes = 0.0;
+  double retransmitted_bytes = 0.0;  // retry-path share of uplink_bytes
   double avg_round_client_bytes = 0.0;  // measured (up+down)/(rounds*participants)
   std::vector<double> client_flops_ratios;  // spatl only
   std::vector<double> client_sparsities;    // spatl only
@@ -117,6 +118,10 @@ struct RunSpec {
   std::optional<double> target_accuracy;
   std::size_t rounds_override = 0;  // 0 = use scale default
   bool capture_per_client = false;
+  /// Fault injection + defenses for resilience benches (clean run when
+  /// unset).
+  std::optional<fl::FaultConfig> faults;
+  std::optional<fl::ResilienceConfig> resilience;
 };
 
 inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
@@ -147,12 +152,15 @@ inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
   ro.sample_ratio = spec.sample_ratio;
   ro.eval_every = s.eval_every;
   ro.target_accuracy = spec.target_accuracy;
+  ro.faults = spec.faults;
+  ro.resilience = spec.resilience;
 
   AlgoRun run;
   run.algorithm = algo;
   run.result = fl::run_federated(*algorithm, ro);
   run.uplink_bytes = algorithm->ledger().uplink_bytes();
   run.downlink_bytes = algorithm->ledger().downlink_bytes();
+  run.retransmitted_bytes = algorithm->ledger().retransmitted_bytes();
   const double participants =
       std::max(1.0, std::ceil(spec.sample_ratio * double(spec.num_clients)));
   const double effective_rounds =

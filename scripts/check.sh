@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the whole tree under AddressSanitizer +
+# UndefinedBehaviorSanitizer and run the test suite. Catches the memory and
+# UB bugs the plain Release build hides. Usage:
+#
+#   scripts/check.sh [build-dir]    # default build dir: build-sanitize
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPATL_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error so UBSan findings fail the suite instead of scrolling by.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=0"  # models free at exit; leaks are noise here
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+echo "sanitizer check passed"

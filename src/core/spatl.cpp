@@ -121,6 +121,7 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
   std::vector<double> delta_sum(shared_dim, 0.0);
   std::vector<std::uint32_t> count(shared_dim, 0);
   std::vector<double> dc_sum(enc_dim, 0.0);
+  std::size_t accepted_count = 0;
 
   for (const std::size_t i : selected) {
     SpatlClientState& state = client_state(i);
@@ -205,29 +206,49 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
       state.last_sparsity = 0.0;
     }
 
-    // Masked upload (eq. 12's (values, index) pairs).
+    // Masked upload (eq. 12's (values, index) pairs). The salient values
+    // and the control deltas on the same positions travel as one payload,
+    // so in-flight corruption/loss and server-side validation see exactly
+    // what crosses the wire.
     const auto mask = upload_mask(state.model, shared_dim);
     const auto w_i =
         nn::flatten_values(shared_views(state.model,
                                         options_.transfer_learning));
-    std::size_t uploaded = 0;
+    std::vector<float> payload;
+    payload.reserve(shared_dim);
     for (std::size_t j = 0; j < shared_dim; ++j) {
-      if (!mask[j]) continue;
-      delta_sum[j] += double(w_i[j]) - double(w_global[j]);
-      ++count[j];
-      ++uploaded;
+      if (mask[j]) payload.push_back(w_i[j]);
     }
+    const std::size_t uploaded = payload.size();
     std::size_t uploaded_control = 0;
     if (options_.gradient_control) {
       for (std::size_t j = 0; j < enc_dim; ++j) {
         if (!mask[j]) continue;
-        dc_sum[j] += dc[j];
+        payload.push_back(dc[j]);
         ++uploaded_control;
       }
     }
-    ledger_.add_uplink_floats(uploaded + uploaded_control);
+    const Delivery d =
+        deliver_update(i, payload, uploaded + uploaded_control);
     ledger_.add_uplink_indices(selected_indices);
+    if (!d.accepted) continue;
+    ++accepted_count;
+    std::size_t p = 0;
+    for (std::size_t j = 0; j < shared_dim; ++j) {
+      if (!mask[j]) continue;
+      delta_sum[j] += d.scale * (double(payload[p]) - double(w_global[j]));
+      ++count[j];
+      ++p;
+    }
+    if (options_.gradient_control) {
+      for (std::size_t j = 0; j < enc_dim; ++j) {
+        if (!mask[j]) continue;
+        dc_sum[j] += payload[p];
+        ++p;
+      }
+    }
   }
+  if (!quorum_met(accepted_count)) return;
 
   // Server: masked aggregation (eq. 12) ...
   std::vector<float> w_new = w_global;

@@ -19,6 +19,91 @@ void FederatedAlgorithm::load_global_into_worker() {
   models::copy_full_state(global_, worker_);
 }
 
+void FederatedAlgorithm::set_fault_injection(const FaultModel* fault,
+                                             const ResilienceConfig& resilience) {
+  fault_ = fault;
+  resilience_ = resilience;
+  defended_ = true;
+}
+
+void FederatedAlgorithm::clear_fault_injection() {
+  fault_ = nullptr;
+  resilience_ = ResilienceConfig{};
+  defended_ = false;
+}
+
+void FederatedAlgorithm::begin_round(std::size_t round, RoundStats admission) {
+  fault_round_ = round;
+  stats_ = admission;
+}
+
+FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
+    std::size_t client, std::vector<float>& payload,
+    std::size_t uplink_floats, const std::vector<float>* reference) {
+  Delivery d;
+  ledger_.add_uplink_floats(uplink_floats);
+  if (fault_ != nullptr && fault_->enabled()) {
+    const Transmission t =
+        fault_->transmit(fault_round_, client, resilience_.max_retries);
+    if (t.attempts > 1) {
+      ledger_.add_uplink_retransmit_floats(uplink_floats * (t.attempts - 1));
+      stats_.retransmissions += t.attempts - 1;
+    }
+    if (!t.delivered) {
+      d.accepted = false;
+      d.reason = RejectReason::kLost;
+      stats_.add(d.reason);
+      return d;
+    }
+    fault_->corrupt(fault_round_, client, payload);
+  }
+  ++stats_.delivered;
+
+  if (defended_) {
+    if (resilience_.validate_updates && !is_finite(payload)) {
+      d.accepted = false;
+      d.reason = RejectReason::kNonFinite;
+    } else if (resilience_.max_update_norm > 0.0) {
+      double sum = 0.0;
+      if (reference != nullptr && reference->size() == payload.size()) {
+        for (std::size_t j = 0; j < payload.size(); ++j) {
+          const double diff = double(payload[j]) - double((*reference)[j]);
+          sum += diff * diff;
+        }
+      } else {
+        for (const float x : payload) sum += double(x) * double(x);
+      }
+      if (sum > resilience_.max_update_norm * resilience_.max_update_norm) {
+        d.accepted = false;
+        d.reason = RejectReason::kNormBound;
+      }
+    }
+  }
+  if (d.accepted && fault_ != nullptr && fault_->enabled() &&
+      fault_->assess(fault_round_, client).fate == ClientFate::kStraggler) {
+    if (resilience_.stale_weight > 0.0) {
+      d.scale = resilience_.stale_weight;
+    } else {
+      d.accepted = false;
+      d.reason = RejectReason::kDeadline;
+    }
+  }
+  if (d.accepted) {
+    ++stats_.accepted;
+  } else {
+    stats_.add(d.reason);
+  }
+  return d;
+}
+
+bool FederatedAlgorithm::quorum_met(std::size_t accepted_count) {
+  const std::size_t quorum =
+      defended_ ? std::max<std::size_t>(1, resilience_.min_quorum) : 1;
+  if (accepted_count >= quorum) return true;
+  stats_.skipped = true;
+  return false;
+}
+
 EvalSummary FederatedAlgorithm::evaluate_clients() {
   EvalSummary summary;
   load_global_into_worker();
@@ -44,16 +129,28 @@ std::vector<double> FederatedAlgorithm::per_client_accuracy() {
 
 namespace {
 
-/// Sample-count weights over the selected clients (FedAvg weighting).
-std::vector<double> client_weights(const FlEnvironment& env,
-                                   const std::vector<std::size_t>& selected) {
-  std::vector<double> w(selected.size(), 0.0);
+/// A client update that survived delivery and validation, parked until the
+/// aggregation phase.
+struct PendingUpdate {
+  std::size_t client = 0;
+  std::vector<float> flat;  // delivered flat weights (post-corruption)
+  std::vector<float> bn;    // BN running stats captured after training
+  double scale = 1.0;       // staleness down-weight
+  double tau = 1.0;         // local step count (FedNova) / K*lr (SCAFFOLD)
+};
+
+/// Aggregation weights over the accepted updates: sample-count times
+/// staleness discount, normalized. Identical to the classic FedAvg
+/// sample-count weighting when every selected client survives with scale 1.
+std::vector<double> accepted_weights(const FlEnvironment& env,
+                                     const std::vector<PendingUpdate>& ups) {
+  std::vector<double> w(ups.size(), 0.0);
   double total = 0.0;
-  for (std::size_t i = 0; i < selected.size(); ++i) {
-    w[i] = double(env.client(selected[i]).train.size());
+  for (std::size_t i = 0; i < ups.size(); ++i) {
+    w[i] = double(env.client(ups[i].client).train.size()) * ups[i].scale;
     total += w[i];
   }
-  if (total <= 0.0) throw std::logic_error("selected clients have no data");
+  if (total <= 0.0) throw std::logic_error("accepted clients have no data");
   for (auto& v : w) v /= total;
   return w;
 }
@@ -65,21 +162,32 @@ std::vector<double> client_weights(const FlEnvironment& env,
 void FedAvg::run_round(const std::vector<std::size_t>& selected) {
   auto views = global_.all_params();
   const std::vector<float> w_global = nn::flatten_values(views);
-  std::vector<float> w_accum(w_global.size(), 0.0f);
-  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
-  const auto weights = client_weights(env_, selected);
+  std::vector<PendingUpdate> accepted;
+  accepted.reserve(selected.size());
 
-  for (std::size_t s = 0; s < selected.size(); ++s) {
-    const std::size_t i = selected[s];
+  for (const std::size_t i : selected) {
     load_global_into_worker();
     ledger_.add_downlink_floats(w_global.size());
     common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
     data::train_supervised(worker_, env_.client(i).train, config_.local,
                            client_rng, worker_.all_params());
-    ledger_.add_uplink_floats(w_global.size());
-    const auto w_i = nn::flatten_values(worker_.all_params());
-    axpy(w_accum, w_i, float(weights[s]));
-    axpy(bn_accum, flatten_bn_stats(worker_), float(weights[s]));
+    PendingUpdate up;
+    up.client = i;
+    up.flat = nn::flatten_values(worker_.all_params());
+    const Delivery d = deliver_update(i, up.flat, w_global.size(), &w_global);
+    if (!d.accepted) continue;
+    up.bn = flatten_bn_stats(worker_);
+    up.scale = d.scale;
+    accepted.push_back(std::move(up));
+  }
+  if (!quorum_met(accepted.size())) return;
+
+  const auto weights = accepted_weights(env_, accepted);
+  std::vector<float> w_accum(w_global.size(), 0.0f);
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  for (std::size_t s = 0; s < accepted.size(); ++s) {
+    axpy(w_accum, accepted[s].flat, float(weights[s]));
+    axpy(bn_accum, accepted[s].bn, float(weights[s]));
   }
   nn::unflatten_values(w_accum, views);
   unflatten_bn_stats(bn_accum, global_);
@@ -90,22 +198,33 @@ void FedAvg::run_round(const std::vector<std::size_t>& selected) {
 void FedProx::run_round(const std::vector<std::size_t>& selected) {
   auto views = global_.all_params();
   const std::vector<float> w_global = nn::flatten_values(views);
-  std::vector<float> w_accum(w_global.size(), 0.0f);
-  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
-  const auto weights = client_weights(env_, selected);
+  std::vector<PendingUpdate> accepted;
+  accepted.reserve(selected.size());
 
   const auto hook = make_proximal_hook(w_global, config_.fedprox_mu);
-  for (std::size_t s = 0; s < selected.size(); ++s) {
-    const std::size_t i = selected[s];
+  for (const std::size_t i : selected) {
     load_global_into_worker();
     ledger_.add_downlink_floats(w_global.size());
     common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
     data::train_supervised(worker_, env_.client(i).train, config_.local,
                            client_rng, worker_.all_params(), hook);
-    ledger_.add_uplink_floats(w_global.size());
-    const auto w_i = nn::flatten_values(worker_.all_params());
-    axpy(w_accum, w_i, float(weights[s]));
-    axpy(bn_accum, flatten_bn_stats(worker_), float(weights[s]));
+    PendingUpdate up;
+    up.client = i;
+    up.flat = nn::flatten_values(worker_.all_params());
+    const Delivery d = deliver_update(i, up.flat, w_global.size(), &w_global);
+    if (!d.accepted) continue;
+    up.bn = flatten_bn_stats(worker_);
+    up.scale = d.scale;
+    accepted.push_back(std::move(up));
+  }
+  if (!quorum_met(accepted.size())) return;
+
+  const auto weights = accepted_weights(env_, accepted);
+  std::vector<float> w_accum(w_global.size(), 0.0f);
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  for (std::size_t s = 0; s < accepted.size(); ++s) {
+    axpy(w_accum, accepted[s].flat, float(weights[s]));
+    axpy(bn_accum, accepted[s].bn, float(weights[s]));
   }
   nn::unflatten_values(w_accum, views);
   unflatten_bn_stats(bn_accum, global_);
@@ -119,29 +238,42 @@ void FedNova::run_round(const std::vector<std::size_t>& selected) {
   // effective step tau_eff = sum p_i tau_i.
   auto views = global_.all_params();
   const std::vector<float> w_global = nn::flatten_values(views);
-  std::vector<float> d_accum(w_global.size(), 0.0f);  // sum p_i * d_i
-  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
-  const auto weights = client_weights(env_, selected);
-  double tau_eff = 0.0;
+  std::vector<PendingUpdate> accepted;
+  accepted.reserve(selected.size());
 
-  for (std::size_t s = 0; s < selected.size(); ++s) {
-    const std::size_t i = selected[s];
+  for (const std::size_t i : selected) {
     load_global_into_worker();
     ledger_.add_downlink_floats(w_global.size());
     common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
     const auto stats =
         data::train_supervised(worker_, env_.client(i).train, config_.local,
                                client_rng, worker_.all_params());
-    const double tau = double(std::max<std::size_t>(1, stats.steps));
+    PendingUpdate up;
+    up.client = i;
+    up.tau = double(std::max<std::size_t>(1, stats.steps));
+    up.flat = nn::flatten_values(worker_.all_params());
     // Uplink: normalized update + the a_i momentum-normalization state its
     // reference implementation ships alongside (~2x FedAvg per round).
-    ledger_.add_uplink_floats(2 * w_global.size());
-    const auto w_i = nn::flatten_values(worker_.all_params());
-    for (std::size_t j = 0; j < w_i.size(); ++j) {
-      d_accum[j] += float(weights[s] / tau) * (w_global[j] - w_i[j]);
+    const Delivery d =
+        deliver_update(i, up.flat, 2 * w_global.size(), &w_global);
+    if (!d.accepted) continue;
+    up.bn = flatten_bn_stats(worker_);
+    up.scale = d.scale;
+    accepted.push_back(std::move(up));
+  }
+  if (!quorum_met(accepted.size())) return;
+
+  const auto weights = accepted_weights(env_, accepted);
+  std::vector<float> d_accum(w_global.size(), 0.0f);  // sum p_i * d_i
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  double tau_eff = 0.0;
+  for (std::size_t s = 0; s < accepted.size(); ++s) {
+    const auto& up = accepted[s];
+    for (std::size_t j = 0; j < up.flat.size(); ++j) {
+      d_accum[j] += float(weights[s] / up.tau) * (w_global[j] - up.flat[j]);
     }
-    axpy(bn_accum, flatten_bn_stats(worker_), float(weights[s]));
-    tau_eff += weights[s] * tau;
+    axpy(bn_accum, up.bn, float(weights[s]));
+    tau_eff += weights[s] * up.tau;
   }
   std::vector<float> w_new = w_global;
   axpy(w_new, d_accum, -float(tau_eff * config_.server_lr));
@@ -161,9 +293,8 @@ Scaffold::Scaffold(FlEnvironment& env, FlConfig config)
 void Scaffold::run_round(const std::vector<std::size_t>& selected) {
   auto views = global_.all_params();
   const std::vector<float> w_global = nn::flatten_values(views);
-  std::vector<float> dw_accum(w_global.size(), 0.0f);
-  std::vector<float> dc_accum(w_global.size(), 0.0f);
-  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  std::vector<PendingUpdate> accepted;
+  accepted.reserve(selected.size());
 
   for (const std::size_t i : selected) {
     auto& c_i = client_c_[i];
@@ -186,26 +317,43 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
     // scaled accordingly or it overshoots by 1/(1-m) and diverges.
     const double eff_lr =
         config_.local.lr / (1.0 - config_.local.momentum);
-    const double k_lr =
-        double(std::max<std::size_t>(1, stats.steps)) * eff_lr;
 
-    const auto w_i = nn::flatten_values(worker_.all_params());
+    PendingUpdate up;
+    up.client = i;
+    up.tau = double(std::max<std::size_t>(1, stats.steps)) * eff_lr;
+    up.flat = nn::flatten_values(worker_.all_params());
+    // Uplink: delta weights + delta control variate. A rejected or lost
+    // uplink aborts the client's round transactionally: its c_i is not
+    // committed, matching a client that re-syncs on its next participation.
+    const Delivery d =
+        deliver_update(i, up.flat, 2 * w_global.size(), &w_global);
+    if (!d.accepted) continue;
+    up.bn = flatten_bn_stats(worker_);
+    up.scale = d.scale;
+    accepted.push_back(std::move(up));
+  }
+  if (!quorum_met(accepted.size())) return;
+
+  std::vector<float> dw_accum(w_global.size(), 0.0f);
+  std::vector<float> dc_accum(w_global.size(), 0.0f);
+  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  for (const auto& up : accepted) {
+    auto& c_i = client_c_[up.client];
     // Option II of the SCAFFOLD paper (eq. 10 here):
     // c_i+ = c_i - c + (w_global - w_i) / (K * lr)
     for (std::size_t j = 0; j < w_global.size(); ++j) {
       const float c_new = c_i[j] - server_c_[j] +
-                          float((w_global[j] - w_i[j]) / k_lr);
+                          float((w_global[j] - up.flat[j]) / up.tau);
       dc_accum[j] += c_new - c_i[j];
-      dw_accum[j] += w_i[j] - w_global[j];
+      // Stale stragglers contribute a down-weighted displacement; the
+      // variate delta stays full-strength (it is bookkeeping, not a step).
+      dw_accum[j] += float(up.scale) * (up.flat[j] - w_global[j]);
       c_i[j] = c_new;
     }
-    axpy(bn_accum, flatten_bn_stats(worker_),
-         1.0f / float(selected.size()));
-    // Uplink: delta weights + delta control variate.
-    ledger_.add_uplink_floats(2 * w_global.size());
+    axpy(bn_accum, up.bn, 1.0f / float(accepted.size()));
   }
 
-  const float inv_s = 1.0f / float(selected.size());
+  const float inv_s = 1.0f / float(accepted.size());
   std::vector<float> w_new = w_global;
   axpy(w_new, dw_accum, inv_s * float(config_.server_lr));
   nn::unflatten_values(w_new, views);

@@ -5,6 +5,13 @@
 // metered through CommLedger; SCAFFOLD and FedNova pay the ~2x per-round
 // cost the paper reports because their control/normalization state travels
 // with the weights.
+//
+// Every round runs collect-then-aggregate: client updates are trained and
+// delivered first (where an installed FaultModel may corrupt or lose them
+// and the server's ResilienceConfig vets them), then aggregation is applied
+// over the accepted survivors only, re-normalized, and gated by a quorum.
+// With no fault model and no resilience installed this is arithmetically
+// identical to the clean-world path.
 #pragma once
 
 #include <memory>
@@ -14,6 +21,7 @@
 #include "data/train.hpp"
 #include "fl/comm.hpp"
 #include "fl/environment.hpp"
+#include "fl/fault.hpp"
 #include "models/split_model.hpp"
 
 namespace spatl::fl {
@@ -56,9 +64,47 @@ class FederatedAlgorithm {
   const FlConfig& config() const { return config_; }
   models::SplitModel& global_model() { return global_; }
 
+  /// Install fault injection and/or server-side defenses for subsequent
+  /// rounds (runner-managed). `fault` may be nullptr to run the defenses
+  /// without any injection. Until this is called (or after
+  /// clear_fault_injection()), run_round follows the exact clean-world
+  /// arithmetic and byte accounting.
+  void set_fault_injection(const FaultModel* fault,
+                           const ResilienceConfig& resilience);
+  void clear_fault_injection();
+  bool fault_path_active() const { return defended_; }
+
+  /// Reset per-round statistics, seed them with the runner's admission
+  /// counts, and set the round index that keys fault decisions. Called by
+  /// the runner before run_round().
+  void begin_round(std::size_t round, RoundStats admission = RoundStats{});
+  const RoundStats& round_stats() const { return stats_; }
+
  protected:
   /// Load global weights + BN stats into the worker model.
   void load_global_into_worker();
+
+  /// Outcome of one client's simulated uplink + server-side vetting.
+  struct Delivery {
+    bool accepted = true;
+    double scale = 1.0;  // aggregation down-weight (stale stragglers)
+    RejectReason reason = RejectReason::kNone;
+  };
+
+  /// Simulate the uplink of `payload` (metered as `uplink_floats` float32
+  /// values): pay the first attempt, inject message loss with bounded retry
+  /// (retransmitted bytes go through CommLedger's retransmission counters),
+  /// maybe corrupt the payload in flight, then apply the server's defenses —
+  /// NaN/Inf validation, optional L2 norm bound of (payload - reference),
+  /// and the straggler staleness policy. Updates round_stats().
+  Delivery deliver_update(std::size_t client, std::vector<float>& payload,
+                          std::size_t uplink_floats,
+                          const std::vector<float>* reference = nullptr);
+
+  /// Aggregation-time quorum gate: true when `accepted_count` updates are
+  /// enough to apply the round; otherwise records the round as skipped (the
+  /// caller must leave the global model untouched).
+  bool quorum_met(std::size_t accepted_count);
 
   FlEnvironment& env_;
   FlConfig config_;
@@ -66,6 +112,12 @@ class FederatedAlgorithm {
   CommLedger ledger_;
   models::SplitModel global_;
   models::SplitModel worker_;
+
+  const FaultModel* fault_ = nullptr;  // not owned; may be null
+  bool defended_ = false;              // resilience policy active
+  ResilienceConfig resilience_;
+  RoundStats stats_;
+  std::size_t fault_round_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -19,15 +19,30 @@ class CommLedger {
   void add_uplink_bytes(double bytes) { up_ += bytes; }
   void add_downlink_bytes(double bytes) { down_ += bytes; }
 
+  /// Retry-path accounting: retransmitted payloads count toward uplink
+  /// totals (the bytes really crossed the wire) AND are tracked separately,
+  /// so communication-efficiency claims under lossy links stay honest.
+  void add_uplink_retransmit_floats(std::size_t count) {
+    const double bytes = 4.0 * double(count);
+    up_ += bytes;
+    retransmit_ += bytes;
+  }
+  void add_uplink_retransmit_bytes(double bytes) {
+    up_ += bytes;
+    retransmit_ += bytes;
+  }
+
   double uplink_bytes() const { return up_; }
   double downlink_bytes() const { return down_; }
   double total_bytes() const { return up_ + down_; }
+  double retransmitted_bytes() const { return retransmit_; }
 
-  void reset() { up_ = down_ = 0.0; }
+  void reset() { up_ = down_ = retransmit_ = 0.0; }
 
  private:
   double up_ = 0.0;
   double down_ = 0.0;
+  double retransmit_ = 0.0;
 };
 
 }  // namespace spatl::fl

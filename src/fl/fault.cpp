@@ -1,0 +1,153 @@
+#include "fl/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace spatl::fl {
+
+namespace {
+
+// Independent decision streams per (round, client) purpose, so adding a new
+// fault kind never perturbs the draws of another.
+enum class Stream : std::uint64_t {
+  kFate = 0x1ULL,
+  kLoss = 0x2ULL,
+  kCorrupt = 0x3ULL,
+};
+
+/// Order-independent per-decision generator: the seed is mixed with the
+/// (round, client, stream) key through splitmix64, so any query order yields
+/// the same draws.
+common::Rng keyed_rng(std::uint64_t seed, std::size_t round,
+                      std::size_t client, Stream stream) {
+  std::uint64_t s = seed;
+  s ^= common::splitmix64(s) ^ (0x9E3779B97F4A7C15ULL * (round + 1));
+  s ^= common::splitmix64(s) ^ (0xC2B2AE3D27D4EB4FULL * (client + 1));
+  s ^= common::splitmix64(s) ^ (0x165667B19E3779F9ULL *
+                                static_cast<std::uint64_t>(stream));
+  return common::Rng(s);
+}
+
+}  // namespace
+
+bool FaultConfig::any_faults() const {
+  if (dropout_rate > 0.0 || straggler_rate > 0.0 || corruption_rate > 0.0 ||
+      loss_rate > 0.0) {
+    return true;
+  }
+  for (const double a : availability) {
+    if (a < 1.0) return true;
+  }
+  return false;
+}
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kNonFinite: return "non_finite";
+    case RejectReason::kNormBound: return "norm_bound";
+    case RejectReason::kLost: return "lost";
+    case RejectReason::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+FaultModel::FaultModel(FaultConfig config) : config_(std::move(config)) {
+  auto check_rate = [](double r, const char* what) {
+    if (r < 0.0 || r > 1.0) {
+      throw std::invalid_argument(std::string("FaultConfig: ") + what +
+                                  " must be in [0, 1]");
+    }
+  };
+  check_rate(config_.dropout_rate, "dropout_rate");
+  check_rate(config_.straggler_rate, "straggler_rate");
+  check_rate(config_.corruption_rate, "corruption_rate");
+  check_rate(config_.loss_rate, "loss_rate");
+  for (const double a : config_.availability) check_rate(a, "availability");
+  enabled_ = config_.any_faults();
+}
+
+ClientFault FaultModel::assess(std::size_t round, std::size_t client) const {
+  ClientFault f;
+  auto rng = keyed_rng(config_.seed, round, client, Stream::kFate);
+  const double up_prob =
+      config_.availability.empty()
+          ? 1.0 - config_.dropout_rate
+          : config_.availability[client % config_.availability.size()];
+  if (!rng.bernoulli(up_prob)) {
+    f.fate = ClientFate::kUnavailable;
+    return f;
+  }
+  const bool slow = rng.bernoulli(config_.straggler_rate);
+  f.compute_time = config_.compute_time_mean *
+                   std::exp(config_.compute_time_jitter * rng.normal());
+  if (slow) f.compute_time *= config_.slowdown_factor;
+  if (config_.round_deadline > 0.0 &&
+      f.compute_time > config_.round_deadline) {
+    f.fate = ClientFate::kStraggler;
+  }
+  return f;
+}
+
+Transmission FaultModel::transmit(std::size_t round, std::size_t client,
+                                  std::size_t max_retries) const {
+  Transmission t;
+  if (config_.loss_rate <= 0.0) return t;
+  auto rng = keyed_rng(config_.seed, round, client, Stream::kLoss);
+  t.attempts = 0;
+  for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+    ++t.attempts;
+    if (!rng.bernoulli(config_.loss_rate)) {
+      t.delivered = true;
+      return t;
+    }
+  }
+  t.delivered = false;
+  return t;
+}
+
+bool FaultModel::corrupt(std::size_t round, std::size_t client,
+                         std::vector<float>& payload) const {
+  if (config_.corruption_rate <= 0.0 || payload.empty()) return false;
+  auto rng = keyed_rng(config_.seed, round, client, Stream::kCorrupt);
+  if (!rng.bernoulli(config_.corruption_rate)) return false;
+  const std::size_t n = std::max<std::size_t>(
+      1, std::size_t(config_.corruption_fraction * double(payload.size())));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx = std::size_t(rng.uniform_index(payload.size()));
+    switch (config_.corruption_kind) {
+      case CorruptionKind::kNaN:
+        payload[idx] = std::numeric_limits<float>::quiet_NaN();
+        break;
+      case CorruptionKind::kInf:
+        payload[idx] = (k % 2 == 0) ? std::numeric_limits<float>::infinity()
+                                    : -std::numeric_limits<float>::infinity();
+        break;
+      case CorruptionKind::kBitFlip: {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &payload[idx], sizeof(bits));
+        bits ^= 1u << rng.uniform_index(32);
+        std::memcpy(&payload[idx], &bits, sizeof(bits));
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+void RoundStats::add(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: break;
+    case RejectReason::kNonFinite: ++rejected_non_finite; break;
+    case RejectReason::kNormBound: ++rejected_norm; break;
+    case RejectReason::kLost: ++rejected_lost; break;
+    case RejectReason::kDeadline: ++rejected_deadline; break;
+  }
+}
+
+}  // namespace spatl::fl

@@ -1,0 +1,162 @@
+// Deterministic fault injection and server-side resilience policy for the
+// FL simulator.
+//
+// Production federations never see the clean world the paper's evaluation
+// assumes: sampled clients drop out, straggle past the round deadline, and
+// return corrupted or lost uplinks. `FaultModel` injects those failures
+// deterministically — every decision is keyed on (seed, round, client), so
+// two runs with the same seeds are bit-identical regardless of query order —
+// and `ResilienceConfig` describes the server's defenses: update validation,
+// bounded retry (metered through CommLedger's retransmission counters),
+// stale-update down-weighting, and a participation quorum below which the
+// round is skipped with the global model untouched.
+//
+// The whole path is strictly opt-in: with no FaultModel installed and no
+// ResilienceConfig requested, every algorithm's arithmetic and byte
+// accounting are unchanged from the clean-world code path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spatl::fl {
+
+enum class CorruptionKind {
+  kNaN,      // overwrite perturbed entries with quiet NaN
+  kInf,      // overwrite with alternating +/- infinity
+  kBitFlip,  // flip one random bit of the float's payload
+};
+
+struct FaultConfig {
+  /// Per-(round, client) Bernoulli probability the client is unavailable at
+  /// round start (never receives the downlink).
+  double dropout_rate = 0.0;
+  /// Optional per-client availability trace: `availability[i % size]` is the
+  /// probability client i is up in any round. Overrides dropout_rate for all
+  /// clients when non-empty.
+  std::vector<double> availability;
+
+  /// Probability a participating client runs slow this round.
+  double straggler_rate = 0.0;
+  double slowdown_factor = 5.0;     // compute-time multiplier when slow
+  double compute_time_mean = 1.0;   // nominal per-client compute time
+  double compute_time_jitter = 0.2; // lognormal sigma on compute time
+  /// Round deadline in the same units as compute_time_mean; a client whose
+  /// simulated compute time exceeds it is a straggler. 0 disables deadlines
+  /// (and thus stragglers).
+  double round_deadline = 2.0;
+
+  /// Per-update probability the uplink payload is corrupted in flight.
+  double corruption_rate = 0.0;
+  CorruptionKind corruption_kind = CorruptionKind::kNaN;
+  /// Fraction of payload elements perturbed when corruption fires (>= 1
+  /// element).
+  double corruption_fraction = 0.01;
+
+  /// Per-attempt probability an uplink transmission is lost (each retry is
+  /// a fresh Bernoulli draw and re-pays the payload bytes).
+  double loss_rate = 0.0;
+
+  std::uint64_t seed = 0x5EEDFA17ULL;
+
+  /// True if any injection is active (all-zero rates behave like the clean
+  /// path but still exercise the defended code).
+  bool any_faults() const;
+};
+
+/// Why the server discarded a client's update.
+enum class RejectReason {
+  kNone,
+  kNonFinite,  // NaN/Inf detected by update validation
+  kNormBound,  // update norm exceeded ResilienceConfig::max_update_norm
+  kLost,       // all transmission attempts failed
+  kDeadline,   // straggler past the deadline with stale_weight == 0
+};
+
+const char* reject_reason_name(RejectReason reason);
+
+/// Server-side defense policy (meaningful with or without fault injection).
+struct ResilienceConfig {
+  /// Reject updates containing NaN/Inf before aggregation.
+  bool validate_updates = true;
+  /// Reject updates whose L2 delta from the reference exceeds this bound.
+  /// 0 disables the norm check.
+  double max_update_norm = 0.0;
+  /// Retransmission attempts after a lost uplink before giving up.
+  std::size_t max_retries = 2;
+  /// Minimum accepted updates required to apply aggregation; below this the
+  /// round is skipped and the global model is left untouched.
+  std::size_t min_quorum = 1;
+  /// Aggregation weight multiplier for stragglers that miss the deadline;
+  /// 0 rejects their updates outright (RejectReason::kDeadline).
+  double stale_weight = 0.5;
+};
+
+enum class ClientFate {
+  kOk,           // participates normally
+  kUnavailable,  // dropped out before the round began
+  kStraggler,    // finishes after the round deadline
+};
+
+struct ClientFault {
+  ClientFate fate = ClientFate::kOk;
+  /// Simulated local compute time (only meaningful when not kUnavailable).
+  double compute_time = 0.0;
+};
+
+struct Transmission {
+  bool delivered = true;
+  std::size_t attempts = 1;  // total tries, including the successful one
+};
+
+/// Deterministic per-(round, client) fault sampler. All members are const:
+/// the model carries no mutable state, so queries are order-independent and
+/// repeatable.
+class FaultModel {
+ public:
+  explicit FaultModel(FaultConfig config);
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return enabled_; }
+
+  /// Availability / straggler fate of `client` in `round`.
+  ClientFault assess(std::size_t round, std::size_t client) const;
+
+  /// Simulate the uplink transmission with up to `max_retries` retries.
+  Transmission transmit(std::size_t round, std::size_t client,
+                        std::size_t max_retries) const;
+
+  /// Maybe corrupt `payload` in place; returns true if corruption fired.
+  bool corrupt(std::size_t round, std::size_t client,
+               std::vector<float>& payload) const;
+
+ private:
+  FaultConfig config_;
+  bool enabled_ = false;
+};
+
+/// Per-round participation and failure statistics (merged into RoundRecord
+/// by the runner and totalled in RunResult).
+struct RoundStats {
+  std::size_t selected = 0;     // sampled by the runner
+  std::size_t dropped = 0;      // unavailable at round start
+  std::size_t stragglers = 0;   // past-deadline participants
+  std::size_t delivered = 0;    // uplinks that reached the server
+  std::size_t accepted = 0;     // updates that entered aggregation
+  std::size_t rejected_non_finite = 0;
+  std::size_t rejected_norm = 0;
+  std::size_t rejected_lost = 0;
+  std::size_t rejected_deadline = 0;
+  std::size_t retransmissions = 0;  // extra transmission attempts
+  /// True when the round was skipped (admission or post-validation quorum).
+  bool skipped = false;
+
+  std::size_t rejected_total() const {
+    return rejected_non_finite + rejected_norm + rejected_lost +
+           rejected_deadline;
+  }
+  void add(RejectReason reason);
+};
+
+}  // namespace spatl::fl

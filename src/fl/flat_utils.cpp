@@ -1,5 +1,6 @@
 #include "fl/flat_utils.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -43,6 +44,19 @@ data::GradHook make_correction_hook(std::vector<float> correction) {
 void axpy(std::vector<float>& a, const std::vector<float>& b, float scale) {
   if (a.size() != b.size()) throw std::invalid_argument("axpy: size mismatch");
   for (std::size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
+}
+
+bool is_finite(const std::vector<float>& v) {
+  for (const float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+double l2_norm(const std::vector<float>& v) {
+  double sum = 0.0;
+  for (const float x : v) sum += double(x) * double(x);
+  return std::sqrt(sum);
 }
 
 std::vector<float> flatten_bn_stats(const models::SplitModel& model) {

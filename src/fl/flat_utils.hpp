@@ -23,6 +23,12 @@ data::GradHook make_correction_hook(std::vector<float> correction);
 /// a += scale * b elementwise (sizes must match).
 void axpy(std::vector<float>& a, const std::vector<float>& b, float scale);
 
+/// True iff every element is finite (no NaN/Inf). Empty vectors are finite.
+bool is_finite(const std::vector<float>& v);
+
+/// Euclidean norm, accumulated in double. Empty vectors have norm 0.
+double l2_norm(const std::vector<float>& v);
+
 /// Flatten/restore batch-norm running statistics (mean then var, layer
 /// order). These are buffers, not parameters — baselines average them
 /// alongside weights; SPATL keeps them local.

@@ -7,18 +7,78 @@
 
 namespace spatl::fl {
 
+namespace {
+
+void accumulate(RunResult& result, const RoundStats& stats) {
+  result.total_selected += stats.selected;
+  result.total_dropped += stats.dropped;
+  result.total_stragglers += stats.stragglers;
+  result.total_accepted += stats.accepted;
+  result.total_rejected += stats.rejected_total();
+  result.total_retransmissions += stats.retransmissions;
+  if (stats.skipped) ++result.rounds_skipped;
+}
+
+}  // namespace
+
 RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
                         const RoundCallback& callback) {
   RunResult result;
   common::Rng sampler(opts.sampling_seed);
   const std::size_t num_clients = algo.environment().num_clients();
-  const std::size_t per_round = std::max<std::size_t>(
-      1, std::size_t(std::ceil(opts.sample_ratio * double(num_clients))));
+  // Guard the participant count: clamp the ratio into [0, 1] and the count
+  // into [1, num_clients] so no ratio can ever select zero clients.
+  const double ratio = std::clamp(opts.sample_ratio, 0.0, 1.0);
+  const std::size_t per_round = std::clamp<std::size_t>(
+      std::size_t(std::ceil(ratio * double(num_clients))), 1, num_clients);
+
+  std::optional<FaultModel> faults;
+  if (opts.faults) faults.emplace(*opts.faults);
+  const bool defended = opts.faults.has_value() || opts.resilience.has_value();
+  const ResilienceConfig resilience =
+      opts.resilience ? *opts.resilience : ResilienceConfig{};
+  const std::size_t quorum = std::max<std::size_t>(1, resilience.min_quorum);
+  if (defended) {
+    algo.set_fault_injection(faults ? &*faults : nullptr, resilience);
+  }
 
   for (std::size_t round = 1; round <= opts.rounds; ++round) {
     const auto selected =
         sampler.sample_without_replacement(num_clients, per_round);
-    algo.run_round(selected);
+
+    // Admission: drop clients unavailable this round, flag stragglers.
+    RoundStats admission;
+    admission.selected = selected.size();
+    std::vector<std::size_t> active;
+    if (faults && faults->enabled()) {
+      active.reserve(selected.size());
+      for (const std::size_t i : selected) {
+        const ClientFault f = faults->assess(round, i);
+        if (f.fate == ClientFate::kUnavailable) {
+          ++admission.dropped;
+          continue;
+        }
+        if (f.fate == ClientFate::kStraggler) ++admission.stragglers;
+        active.push_back(i);
+      }
+    } else {
+      active = selected;
+    }
+
+    RoundStats stats = admission;
+    if (active.size() < quorum) {
+      // Not enough live participants to even start: skip the round and
+      // leave the global model untouched.
+      stats.skipped = true;
+      common::log_debug(algo.name(), " round ", round,
+                        " skipped below quorum (", active.size(), "/",
+                        quorum, ")");
+    } else {
+      if (defended) algo.begin_round(round, admission);
+      algo.run_round(active);
+      if (defended) stats = algo.round_stats();
+    }
+    accumulate(result, stats);
 
     if (round % opts.eval_every == 0 || round == opts.rounds) {
       const EvalSummary eval = algo.evaluate_clients();
@@ -27,6 +87,7 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       rec.avg_accuracy = eval.avg_accuracy;
       rec.avg_loss = eval.avg_loss;
       rec.cumulative_bytes = algo.ledger().total_bytes();
+      rec.stats = stats;
       result.history.push_back(rec);
       result.final_accuracy = eval.avg_accuracy;
       result.best_accuracy = std::max(result.best_accuracy,
@@ -42,6 +103,8 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
     }
   }
   result.total_bytes = algo.ledger().total_bytes();
+  result.retransmitted_bytes = algo.ledger().retransmitted_bytes();
+  if (defended) algo.clear_fault_injection();
   return result;
 }
 

@@ -1,8 +1,15 @@
-// Round-loop driver: client sampling, periodic evaluation, history capture.
+// Round-loop driver: client sampling, fault admission, periodic evaluation,
+// history capture.
 //
 // Produces exactly the series the paper's figures plot — accuracy vs round
 // and accuracy vs cumulative communicated bytes — plus stop-at-target
-// queries for the rounds-to-target-accuracy tables.
+// queries for the rounds-to-target-accuracy tables. When RunOptions carries
+// a FaultConfig, the runner owns a deterministic FaultModel, drops
+// unavailable clients before the round, flags stragglers, skips rounds that
+// fall below the resilience quorum (global model untouched), and threads
+// the model into the algorithm for uplink corruption/loss injection and
+// server-side validation. With neither faults nor resilience requested the
+// clean-world behaviour is bit-identical to the undefended path.
 #pragma once
 
 #include <functional>
@@ -10,6 +17,7 @@
 #include <vector>
 
 #include "fl/algorithm.hpp"
+#include "fl/fault.hpp"
 
 namespace spatl::fl {
 
@@ -18,6 +26,10 @@ struct RoundRecord {
   double avg_accuracy = 0.0;
   double avg_loss = 0.0;
   double cumulative_bytes = 0.0;
+  /// Participation/failure statistics of this round (zeros on the clean
+  /// path; `stats.skipped` marks a below-quorum round that left the global
+  /// model untouched).
+  RoundStats stats;
 };
 
 struct RunOptions {
@@ -27,6 +39,13 @@ struct RunOptions {
   /// Stop early once average accuracy reaches this value (Table I setting).
   std::optional<double> target_accuracy;
   std::uint64_t sampling_seed = 7;
+  /// Fault injection (dropout, stragglers, uplink corruption, message
+  /// loss). nullopt = clean world.
+  std::optional<FaultConfig> faults;
+  /// Server-side defenses (validation, retry budget, quorum, staleness).
+  /// nullopt = defaults when `faults` is set; when neither is set the
+  /// legacy undefended code path runs unchanged.
+  std::optional<ResilienceConfig> resilience;
 };
 
 struct RunResult {
@@ -37,6 +56,18 @@ struct RunResult {
   double total_bytes = 0.0;
   /// Highest evaluated accuracy across the run ("converge accuracy").
   double best_accuracy = 0.0;
+
+  // Participation and failure totals across every round (not just the
+  // evaluated ones). All zero on the clean path.
+  std::size_t total_selected = 0;
+  std::size_t total_dropped = 0;
+  std::size_t total_stragglers = 0;
+  std::size_t total_accepted = 0;
+  std::size_t total_rejected = 0;
+  std::size_t total_retransmissions = 0;
+  std::size_t rounds_skipped = 0;
+  /// Bytes re-sent by the bounded-retry path (also included in total_bytes).
+  double retransmitted_bytes = 0.0;
 };
 
 using RoundCallback =
@@ -44,7 +75,9 @@ using RoundCallback =
 
 /// Drive `algo` for opts.rounds rounds, sampling
 /// ceil(sample_ratio * num_clients) clients uniformly without replacement
-/// each round (the Non-IID benchmark's sampling scheme).
+/// each round (the Non-IID benchmark's sampling scheme). The ratio is
+/// clamped to [0, 1] and the participant count to [1, num_clients], so a
+/// small or out-of-range ratio can never select zero clients.
 RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
                         const RoundCallback& callback = nullptr);
 

@@ -42,6 +42,12 @@ int usage() {
                "           --arch ARCH --clients N --rounds R --beta B\n"
                "           [--sample-ratio F] [--epochs E] [--lr F]\n"
                "           [--input PX] [--width F] [--seed S] [--out CKPT]\n"
+               "           fault injection / resilience:\n"
+               "           [--fault-dropout F] [--fault-straggler F]\n"
+               "           [--fault-corruption F] [--fault-corruption-kind\n"
+               "            nan|inf|bitflip] [--fault-loss F] [--fault-seed S]\n"
+               "           [--fault-deadline T] [--max-retries N] [--quorum N]\n"
+               "           [--max-update-norm F] [--stale-weight F]\n"
                "  evaluate --ckpt FILE --arch ARCH [--input PX] [--width F]\n"
                "  prune    --arch ARCH --budget F [--rl-rounds N]\n"
                "  info     --arch ARCH [--input PX] [--width F]\n");
@@ -127,6 +133,36 @@ int cmd_train(const common::Flags& flags) {
   fl::RunOptions ro;
   ro.rounds = rounds;
   ro.sample_ratio = flags.get_double("sample-ratio", 1.0);
+
+  // Fault injection is active as soon as any --fault-* rate is set;
+  // resilience flags alone enable the defended path without injection.
+  fl::FaultConfig fc;
+  fc.dropout_rate = flags.get_double("fault-dropout", 0.0);
+  fc.straggler_rate = flags.get_double("fault-straggler", 0.0);
+  fc.corruption_rate = flags.get_double("fault-corruption", 0.0);
+  fc.loss_rate = flags.get_double("fault-loss", 0.0);
+  fc.round_deadline = flags.get_double("fault-deadline", fc.round_deadline);
+  fc.seed = std::uint64_t(flags.get_int("fault-seed", 0x5EEDFA17L));
+  const std::string kind = flags.get("fault-corruption-kind", "nan");
+  if (kind == "inf") fc.corruption_kind = fl::CorruptionKind::kInf;
+  else if (kind == "bitflip") fc.corruption_kind = fl::CorruptionKind::kBitFlip;
+  else if (kind != "nan") {
+    throw std::invalid_argument("unknown --fault-corruption-kind " + kind);
+  }
+  if (fc.any_faults()) ro.faults = fc;
+
+  const bool resilience_flags =
+      flags.has("quorum") || flags.has("max-update-norm") ||
+      flags.has("stale-weight") || flags.has("max-retries");
+  if (resilience_flags || ro.faults) {
+    fl::ResilienceConfig rc;
+    rc.min_quorum = std::size_t(flags.get_int("quorum", 1));
+    rc.max_update_norm = flags.get_double("max-update-norm", 0.0);
+    rc.stale_weight = flags.get_double("stale-weight", rc.stale_weight);
+    rc.max_retries = std::size_t(flags.get_int("max-retries", 2));
+    ro.resilience = rc;
+  }
+
   const auto result = fl::run_federated(
       *algorithm, ro, [&](std::size_t round, const fl::RoundRecord& rec) {
         std::printf("round %3zu  acc %5.1f%%  loss %.3f  comm %s\n", round,
@@ -137,6 +173,16 @@ int cmd_train(const common::Flags& flags) {
               algorithm->name().c_str(), result.final_accuracy * 100.0,
               result.best_accuracy * 100.0,
               common::format_bytes(result.total_bytes).c_str());
+  if (ro.faults || ro.resilience) {
+    std::printf(
+        "participation: %zu selected, %zu accepted, %zu dropped, "
+        "%zu stragglers, %zu rejected, %zu rounds skipped\n"
+        "retry path: %zu retransmissions, %s retransmitted\n",
+        result.total_selected, result.total_accepted, result.total_dropped,
+        result.total_stragglers, result.total_rejected,
+        result.rounds_skipped, result.total_retransmissions,
+        common::format_bytes(result.retransmitted_bytes).c_str());
+  }
 
   const std::string out = flags.get("out");
   if (!out.empty()) {
