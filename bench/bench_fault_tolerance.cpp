@@ -58,22 +58,14 @@ int main() {
   for (const auto& algo : algos) {
     double clean_best = 0.0;
     for (const auto& f : settings) {
-      RunSpec spec;
-      spec.arch = "resnet20";
-      spec.num_clients = 12;
-      spec.sample_ratio = 0.75;
-      fl::FaultConfig fc;
+      RunSpec spec = make_resilience_spec();
+      fl::FaultConfig fc = make_resilience_faults();
       fc.dropout_rate = f.dropout;
       fc.corruption_rate = f.corruption;
       fc.corruption_kind = fl::CorruptionKind::kNaN;
       fc.loss_rate = f.loss;
-      fc.seed = 0xFA17ULL;
-      fl::ResilienceConfig rc;
-      rc.validate_updates = true;
-      rc.max_retries = 2;
-      rc.min_quorum = 2;
       spec.faults = fc;
-      spec.resilience = rc;
+      spec.resilience = make_resilience_defenses();
       const AlgoRun run = run_algorithm(algo, spec, scale,
                                         default_spatl_options(),
                                         algo == "spatl" ? &agent : nullptr);

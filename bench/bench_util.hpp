@@ -124,6 +124,44 @@ struct RunSpec {
   std::optional<fl::ResilienceConfig> resilience;
 };
 
+// --- shared resilience-bench baseline -------------------------------------
+//
+// The fault-tolerance and Byzantine benches must run the SAME federation
+// (architecture, client count, participation, fault seed) so their rows are
+// comparable across binaries and a re-run replays the identical fault
+// schedule. Construct configs through these builders instead of inlining
+// them per bench.
+
+/// Fixed fault seed for every resilience bench (re-seeding by convention).
+inline constexpr std::uint64_t kResilienceFaultSeed = 0xFA17ULL;
+
+/// ResNet-20, 12 clients, 75% participation per round.
+inline RunSpec make_resilience_spec() {
+  RunSpec spec;
+  spec.arch = "resnet20";
+  spec.num_clients = 12;
+  spec.sample_ratio = 0.75;
+  return spec;
+}
+
+/// Fault model seeded by convention; rates start at zero — set only what the
+/// bench sweeps.
+inline fl::FaultConfig make_resilience_faults() {
+  fl::FaultConfig fc;
+  fc.seed = kResilienceFaultSeed;
+  return fc;
+}
+
+/// Server defenses every resilience bench runs with: NaN/Inf validation,
+/// two retries, quorum of two.
+inline fl::ResilienceConfig make_resilience_defenses() {
+  fl::ResilienceConfig rc;
+  rc.validate_updates = true;
+  rc.max_retries = 2;
+  rc.min_quorum = 2;
+  return rc;
+}
+
 inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
                              const BenchScale& s,
                              const core::SpatlOptions& spatl_opts,

@@ -1,12 +1,33 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build the whole tree under AddressSanitizer +
-# UndefinedBehaviorSanitizer and run the test suite. Catches the memory and
-# UB bugs the plain Release build hides. Usage:
+# Verification gates.
 #
-#   scripts/check.sh [build-dir]    # default build dir: build-sanitize
+#   scripts/check.sh [build-dir]         sanitizer tier (default): build the
+#       whole tree under AddressSanitizer + UndefinedBehaviorSanitizer and
+#       run the test suite. Catches the memory and UB bugs the plain
+#       Release build hides. Default build dir: build-sanitize.
+#
+#   scripts/check.sh --fast [build-dir]  tier-1 only: plain Release build +
+#       ctest, no sanitizers. The quick pre-commit loop; the sanitizer tier
+#       stays the merge gate. Default build dir: build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+  shift
+fi
+
+if [[ "$FAST" == "1" ]]; then
+  BUILD_DIR="${1:-build}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+  echo "fast check passed"
+  exit 0
+fi
+
 BUILD_DIR="${1:-build-sanitize}"
 
 cmake -B "$BUILD_DIR" -S . \

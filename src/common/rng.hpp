@@ -10,6 +10,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
@@ -177,6 +178,26 @@ class Rng {
 
   /// Derive an independent child generator (for per-client streams).
   Rng fork() { return Rng(next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+  /// Exact generator cursor for checkpoint/restore: the four xoshiro state
+  /// words, the Box-Muller cached deviate (bit pattern), and its validity
+  /// flag. restore_cursor(save_cursor()) round-trips bit-identically.
+  std::array<std::uint64_t, 6> save_cursor() const {
+    std::array<std::uint64_t, 6> out{};
+    for (std::size_t i = 0; i < 4; ++i) out[i] = state_[i];
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(cached_normal_));
+    std::memcpy(&bits, &cached_normal_, sizeof(bits));
+    out[4] = bits;
+    out[5] = cached_normal_valid_ ? 1 : 0;
+    return out;
+  }
+
+  void restore_cursor(const std::array<std::uint64_t, 6>& cursor) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = cursor[i];
+    std::memcpy(&cached_normal_, &cursor[4], sizeof(cached_normal_));
+    cached_normal_valid_ = cursor[5] != 0;
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

@@ -20,6 +20,29 @@ std::vector<nn::ParamView> shared_views(models::SplitModel& model,
   return transfer_learning ? model.encoder_params() : model.all_params();
 }
 
+std::vector<float> flatten_nested(const std::vector<std::vector<float>>& v) {
+  std::vector<float> out;
+  for (const auto& sub : v) out.insert(out.end(), sub.begin(), sub.end());
+  return out;
+}
+
+/// Refill `v`'s sub-vectors (sizes unchanged) from a concatenated flat copy.
+void restore_nested(const std::vector<float>& flat,
+                    std::vector<std::vector<float>>& v) {
+  std::size_t off = 0;
+  for (auto& sub : v) {
+    if (off + sub.size() > flat.size()) {
+      throw std::runtime_error("checkpoint: optimizer moment size mismatch");
+    }
+    std::copy(flat.begin() + std::ptrdiff_t(off),
+              flat.begin() + std::ptrdiff_t(off + sub.size()), sub.begin());
+    off += sub.size();
+  }
+  if (off != flat.size()) {
+    throw std::runtime_error("checkpoint: optimizer moment size mismatch");
+  }
+}
+
 }  // namespace
 
 SpatlAlgorithm::SpatlAlgorithm(fl::FlEnvironment& env, fl::FlConfig config,
@@ -122,6 +145,20 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
   std::vector<std::uint32_t> count(shared_dim, 0);
   std::vector<double> dc_sum(enc_dim, 0.0);
   std::size_t accepted_count = 0;
+
+  // Robust path only: accepted masked updates parked until aggregation.
+  // `deltas` is compacted over the mask positions and already carries the
+  // staleness scale, mirroring the streaming accumulation of the mean path
+  // (which divides by the raw owner count, not by the scale sum).
+  struct PendingMasked {
+    std::size_t client = 0;
+    std::vector<std::uint8_t> mask;    // 0/1 over shared_dim
+    std::vector<float> deltas;         // compact: scale * (w_i - w_global)
+    std::vector<std::uint8_t> cmask;   // prefix of mask over enc_dim
+    std::vector<float> dc;             // compact control deltas
+  };
+  std::vector<PendingMasked> pending;
+  const bool robust = robust_active();
 
   for (const std::size_t i : selected) {
     SpatlClientState& state = client_state(i);
@@ -228,11 +265,46 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
         ++uploaded_control;
       }
     }
-    const Delivery d =
-        deliver_update(i, payload, uploaded + uploaded_control);
+    // Payload-aligned reference: the global weights on the salient
+    // positions, zero on the control-delta segment. Byzantine crafting and
+    // the norm-bound defense both operate about this center, so a sign-flip
+    // genuinely reverses the client's *update* rather than its raw weights.
+    std::vector<float> payload_ref;
+    payload_ref.reserve(payload.size());
+    for (std::size_t j = 0; j < shared_dim; ++j) {
+      if (mask[j]) payload_ref.push_back(w_global[j]);
+    }
+    payload_ref.resize(payload.size(), 0.0f);
+    const Delivery d = deliver_update(i, payload,
+                                      uploaded + uploaded_control,
+                                      &payload_ref);
     ledger_.add_uplink_indices(selected_indices);
     if (!d.accepted) continue;
     ++accepted_count;
+    if (robust) {
+      PendingMasked pm;
+      pm.client = i;
+      pm.mask = mask;
+      pm.deltas.reserve(uploaded);
+      std::size_t p = 0;
+      for (std::size_t j = 0; j < shared_dim; ++j) {
+        if (!mask[j]) continue;
+        pm.deltas.push_back(
+            float(d.scale * (double(payload[p]) - double(w_global[j]))));
+        ++p;
+      }
+      if (options_.gradient_control) {
+        pm.cmask.assign(mask.begin(), mask.begin() + std::ptrdiff_t(enc_dim));
+        pm.dc.reserve(uploaded_control);
+        for (std::size_t j = 0; j < enc_dim; ++j) {
+          if (!mask[j]) continue;
+          pm.dc.push_back(payload[p]);
+          ++p;
+        }
+      }
+      pending.push_back(std::move(pm));
+      continue;
+    }
     std::size_t p = 0;
     for (std::size_t j = 0; j < shared_dim; ++j) {
       if (!mask[j]) continue;
@@ -249,6 +321,53 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
     }
   }
   if (!quorum_met(accepted_count)) return;
+
+  if (robust) {
+    // Robust masked aggregation: per-coordinate statistics run over the
+    // clients that transmitted each coordinate; Krum scores pairs on their
+    // shared support. The center replaces eq. 12's per-coordinate mean.
+    std::vector<fl::RobustUpdate> ups(pending.size());
+    for (std::size_t s = 0; s < pending.size(); ++s) {
+      ups[s] = {pending[s].client, 1.0, &pending[s].deltas, &pending[s].mask};
+    }
+    const auto outcome = robust_combine(ups, shared_dim, nullptr);
+    const auto excluded = [&](std::size_t client) {
+      return std::find(outcome.excluded.begin(), outcome.excluded.end(),
+                       client) != outcome.excluded.end();
+    };
+    std::vector<float> w_new = w_global;
+    for (std::size_t j = 0; j < shared_dim; ++j) {
+      if (outcome.defined[j]) {
+        w_new[j] += float(options_.server_lr * double(outcome.value[j]));
+      }
+    }
+    nn::unflatten_values(w_new, global_shared);
+    if (options_.gradient_control) {
+      // eq. 11's c += sum(dc)/N with the per-coordinate owner mean replaced
+      // by the robust center over the clients the aggregator kept.
+      std::vector<fl::RobustUpdate> dc_ups;
+      std::vector<std::uint32_t> c_count(enc_dim, 0);
+      for (const auto& pm : pending) {
+        if (excluded(pm.client)) continue;
+        dc_ups.push_back({pm.client, 1.0, &pm.dc, &pm.cmask});
+        for (std::size_t j = 0; j < enc_dim; ++j) {
+          if (pm.cmask[j]) ++c_count[j];
+        }
+      }
+      if (!dc_ups.empty()) {
+        const auto dc_out = robust_->aggregate(dc_ups, enc_dim, nullptr);
+        stats_.clipped += dc_out.clipped;
+        const double inv_n = 1.0 / double(env_.num_clients());
+        for (std::size_t j = 0; j < enc_dim; ++j) {
+          if (dc_out.defined[j]) {
+            server_control_[j] +=
+                float(double(c_count[j]) * inv_n * double(dc_out.value[j]));
+          }
+        }
+      }
+    }
+    return;
+  }
 
   // Server: masked aggregation (eq. 12) ...
   std::vector<float> w_new = w_global;
@@ -307,6 +426,78 @@ std::vector<double> SpatlAlgorithm::client_sparsities() const {
     out.push_back(c ? c->last_sparsity : 0.0);
   }
   return out;
+}
+
+void SpatlAlgorithm::save_state(fl::RunCheckpoint& out) {
+  fl::FederatedAlgorithm::save_state(out);
+  out.entries.push_back(fl::pack_floats("spatl/c", server_control_));
+  out.entries.push_back(
+      fl::pack_u64s("spatl/round", {std::uint64_t(round_)}));
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const auto& c = clients_[i];
+    if (!c) continue;
+    const std::string p = "spatl/client/" + std::to_string(i) + "/";
+    out.entries.push_back(
+        fl::pack_floats(p + "w", nn::flatten_values(c->model.all_params())));
+    out.entries.push_back(
+        fl::pack_floats(p + "bn", fl::flatten_bn_stats(c->model)));
+    out.entries.push_back(fl::pack_floats(p + "c", c->control));
+    out.entries.push_back(
+        fl::pack_u64s(p + "part", {std::uint64_t(c->participations)}));
+    out.entries.push_back(fl::pack_doubles(
+        p + "metrics", {c->last_flops_ratio, c->last_sparsity}));
+    rl::PpoAgent& agent = *c->agent;
+    out.entries.push_back(fl::pack_floats(
+        p + "agent/net", nn::flatten_values(agent.network().all_params())));
+    out.entries.push_back(fl::pack_floats(
+        p + "agent/m", flatten_nested(agent.adam().first_moments())));
+    out.entries.push_back(fl::pack_floats(
+        p + "agent/v", flatten_nested(agent.adam().second_moments())));
+    out.entries.push_back(
+        fl::pack_u64s(p + "agent/t", {std::uint64_t(agent.adam().step_count())}));
+    out.entries.push_back(fl::pack_u64s(
+        p + "agent/finetune", {std::uint64_t(agent.finetune() ? 1 : 0)}));
+    out.entries.push_back(fl::pack_rng(p + "agent/rng", agent.rng()));
+  }
+}
+
+void SpatlAlgorithm::load_state(const fl::RunCheckpoint& in) {
+  fl::FederatedAlgorithm::load_state(in);
+  server_control_ = fl::unpack_floats(in.at("spatl/c"));
+  round_ = std::size_t(fl::unpack_u64s(in.at("spatl/round"))[0]);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const std::string p = "spatl/client/" + std::to_string(i) + "/";
+    const tensor::Tensor* w = in.find(p + "w");
+    if (w == nullptr) {
+      // Not materialized at capture time; recreate lazily on first use.
+      clients_[i].reset();
+      continue;
+    }
+    SpatlClientState& state = client_state(i);
+    auto views = state.model.all_params();
+    nn::unflatten_values(fl::unpack_floats(*w), views);
+    fl::unflatten_bn_stats(fl::unpack_floats(in.at(p + "bn")), state.model);
+    state.control = fl::unpack_floats(in.at(p + "c"));
+    state.participations =
+        std::size_t(fl::unpack_u64s(in.at(p + "part"))[0]);
+    const auto metrics = fl::unpack_doubles(in.at(p + "metrics"));
+    state.last_flops_ratio = metrics[0];
+    state.last_sparsity = metrics[1];
+    rl::PpoAgent& agent = *state.agent;
+    // Finetune first: flipping it rebinds the optimizer to the matching
+    // trainable set, so the moment layout below lines up.
+    agent.set_finetune(fl::unpack_u64s(in.at(p + "agent/finetune"))[0] != 0);
+    auto net_views = agent.network().all_params();
+    nn::unflatten_values(fl::unpack_floats(in.at(p + "agent/net")),
+                         net_views);
+    restore_nested(fl::unpack_floats(in.at(p + "agent/m")),
+                   agent.adam().first_moments());
+    restore_nested(fl::unpack_floats(in.at(p + "agent/v")),
+                   agent.adam().second_moments());
+    agent.adam().set_step_count(
+        std::int64_t(fl::unpack_u64s(in.at(p + "agent/t"))[0]));
+    fl::unpack_rng(in.at(p + "agent/rng"), agent.rng());
+  }
 }
 
 double SpatlAlgorithm::adapt_cold_client(std::size_t client,

@@ -84,6 +84,14 @@ class SpatlAlgorithm : public fl::FederatedAlgorithm {
 
   std::size_t current_round() const { return round_; }
 
+  /// Crash-recoverable rounds: captures the round counter, server control
+  /// variate, and every materialized client's model, BN statistics, control
+  /// variate, and PPO agent (network, Adam moments, RNG cursor). Clients
+  /// not yet materialized at capture time are recreated lazily after
+  /// restore, which is deterministic by construction.
+  void save_state(fl::RunCheckpoint& out) override;
+  void load_state(const fl::RunCheckpoint& in) override;
+
  private:
   SpatlClientState& client_state(std::size_t client);
   void sync_encoder_to_client(SpatlClientState& state);

@@ -1,5 +1,6 @@
 #include "fl/algorithm.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "data/loader.hpp"
@@ -24,12 +25,28 @@ void FederatedAlgorithm::set_fault_injection(const FaultModel* fault,
   fault_ = fault;
   resilience_ = resilience;
   defended_ = true;
+  robust_ = make_robust_aggregator(resilience_);
 }
 
 void FederatedAlgorithm::clear_fault_injection() {
   fault_ = nullptr;
   resilience_ = ResilienceConfig{};
   defended_ = false;
+  robust_.reset();
+}
+
+bool FederatedAlgorithm::robust_active() const {
+  return robust_ != nullptr &&
+         resilience_.aggregator != AggregatorKind::kWeightedMean;
+}
+
+AggregateOutcome FederatedAlgorithm::robust_combine(
+    const std::vector<RobustUpdate>& updates, std::size_t dim,
+    const std::vector<float>* reference) {
+  AggregateOutcome out = robust_->aggregate(updates, dim, reference);
+  for (const std::size_t c : out.excluded) stats_.suspects.push_back(c);
+  stats_.clipped += out.clipped;
+  return out;
 }
 
 void FederatedAlgorithm::begin_round(std::size_t round, RoundStats admission) {
@@ -43,6 +60,11 @@ FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
   Delivery d;
   ledger_.add_uplink_floats(uplink_floats);
   if (fault_ != nullptr && fault_->enabled()) {
+    // Byzantine clients craft their payload before it leaves the device —
+    // a lost or rejected attack still counts as an attack attempt.
+    if (fault_->attack(fault_round_, client, payload, reference)) {
+      stats_.attackers.push_back(client);
+    }
     const Transmission t =
         fault_->transmit(fault_round_, client, resilience_.max_retries);
     if (t.attempts > 1) {
@@ -53,6 +75,7 @@ FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
       d.accepted = false;
       d.reason = RejectReason::kLost;
       stats_.add(d.reason);
+      stats_.rejected_clients.push_back(client);
       return d;
     }
     fault_->corrupt(fault_round_, client, payload);
@@ -92,8 +115,21 @@ FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
     ++stats_.accepted;
   } else {
     stats_.add(d.reason);
+    stats_.rejected_clients.push_back(client);
   }
   return d;
+}
+
+void FederatedAlgorithm::save_state(RunCheckpoint& out) {
+  out.entries.push_back(
+      pack_floats("algo/w", nn::flatten_values(global_.all_params())));
+  out.entries.push_back(pack_floats("algo/bn", flatten_bn_stats(global_)));
+}
+
+void FederatedAlgorithm::load_state(const RunCheckpoint& in) {
+  auto views = global_.all_params();
+  nn::unflatten_values(unpack_floats(in.at("algo/w")), views);
+  unflatten_bn_stats(unpack_floats(in.at("algo/bn")), global_);
 }
 
 bool FederatedAlgorithm::quorum_met(std::size_t accepted_count) {
@@ -155,6 +191,34 @@ std::vector<double> accepted_weights(const FlEnvironment& env,
   return w;
 }
 
+bool is_excluded(const std::vector<std::size_t>& excluded, std::size_t client) {
+  return std::find(excluded.begin(), excluded.end(), client) != excluded.end();
+}
+
+/// Weighted mean of the accepted BN running statistics over the clients the
+/// robust aggregator kept, renormalized over the survivors. BN buffers are
+/// low-dimensional summaries, so a plain mean over the trusted subset is the
+/// robust analogue of each algorithm's BN averaging.
+std::vector<float> robust_bn_mean(const std::vector<PendingUpdate>& accepted,
+                                  const std::vector<double>& weights,
+                                  const std::vector<std::size_t>& excluded,
+                                  std::size_t bn_dim) {
+  std::vector<double> acc(bn_dim, 0.0);
+  double total = 0.0;
+  for (std::size_t s = 0; s < accepted.size(); ++s) {
+    if (is_excluded(excluded, accepted[s].client)) continue;
+    total += weights[s];
+    for (std::size_t j = 0; j < bn_dim; ++j) {
+      acc[j] += weights[s] * double(accepted[s].bn[j]);
+    }
+  }
+  std::vector<float> out(bn_dim, 0.0f);
+  if (total > 0.0) {
+    for (std::size_t j = 0; j < bn_dim; ++j) out[j] = float(acc[j] / total);
+  }
+  return out;
+}
+
 }  // namespace
 
 // -------------------------------------------------------------- FedAvg ----
@@ -183,8 +247,26 @@ void FedAvg::run_round(const std::vector<std::size_t>& selected) {
   if (!quorum_met(accepted.size())) return;
 
   const auto weights = accepted_weights(env_, accepted);
+  const std::size_t bn_dim = flatten_bn_stats(global_).size();
+  if (robust_active()) {
+    // Robust center of the delivered weight vectors themselves (FedAvg
+    // aggregates in absolute weight space).
+    std::vector<RobustUpdate> ups(accepted.size());
+    for (std::size_t s = 0; s < accepted.size(); ++s) {
+      ups[s] = {accepted[s].client, weights[s], &accepted[s].flat, nullptr};
+    }
+    const auto outcome = robust_combine(ups, w_global.size(), &w_global);
+    std::vector<float> w_new = w_global;
+    for (std::size_t j = 0; j < w_new.size(); ++j) {
+      if (outcome.defined[j]) w_new[j] = outcome.value[j];
+    }
+    nn::unflatten_values(w_new, views);
+    unflatten_bn_stats(
+        robust_bn_mean(accepted, weights, outcome.excluded, bn_dim), global_);
+    return;
+  }
   std::vector<float> w_accum(w_global.size(), 0.0f);
-  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  std::vector<float> bn_accum(bn_dim, 0.0f);
   for (std::size_t s = 0; s < accepted.size(); ++s) {
     axpy(w_accum, accepted[s].flat, float(weights[s]));
     axpy(bn_accum, accepted[s].bn, float(weights[s]));
@@ -220,8 +302,24 @@ void FedProx::run_round(const std::vector<std::size_t>& selected) {
   if (!quorum_met(accepted.size())) return;
 
   const auto weights = accepted_weights(env_, accepted);
+  const std::size_t bn_dim = flatten_bn_stats(global_).size();
+  if (robust_active()) {
+    std::vector<RobustUpdate> ups(accepted.size());
+    for (std::size_t s = 0; s < accepted.size(); ++s) {
+      ups[s] = {accepted[s].client, weights[s], &accepted[s].flat, nullptr};
+    }
+    const auto outcome = robust_combine(ups, w_global.size(), &w_global);
+    std::vector<float> w_new = w_global;
+    for (std::size_t j = 0; j < w_new.size(); ++j) {
+      if (outcome.defined[j]) w_new[j] = outcome.value[j];
+    }
+    nn::unflatten_values(w_new, views);
+    unflatten_bn_stats(
+        robust_bn_mean(accepted, weights, outcome.excluded, bn_dim), global_);
+    return;
+  }
   std::vector<float> w_accum(w_global.size(), 0.0f);
-  std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
+  std::vector<float> bn_accum(bn_dim, 0.0f);
   for (std::size_t s = 0; s < accepted.size(); ++s) {
     axpy(w_accum, accepted[s].flat, float(weights[s]));
     axpy(bn_accum, accepted[s].bn, float(weights[s]));
@@ -264,6 +362,42 @@ void FedNova::run_round(const std::vector<std::size_t>& selected) {
   if (!quorum_met(accepted.size())) return;
 
   const auto weights = accepted_weights(env_, accepted);
+  if (robust_active()) {
+    // Robust center of the normalized updates d_i = (w_global - w_i)/tau_i;
+    // tau_eff is renormalized over the clients the aggregator kept, so an
+    // excluded client contributes neither direction nor step size.
+    const std::size_t bn_dim = flatten_bn_stats(global_).size();
+    std::vector<std::vector<float>> deltas(accepted.size());
+    std::vector<RobustUpdate> ups(accepted.size());
+    for (std::size_t s = 0; s < accepted.size(); ++s) {
+      const auto& up = accepted[s];
+      deltas[s].resize(w_global.size());
+      for (std::size_t j = 0; j < w_global.size(); ++j) {
+        deltas[s][j] =
+            float((double(w_global[j]) - double(up.flat[j])) / up.tau);
+      }
+      ups[s] = {up.client, weights[s], &deltas[s], nullptr};
+    }
+    const auto outcome = robust_combine(ups, w_global.size(), nullptr);
+    double tau_eff_r = 0.0;
+    double kept = 0.0;
+    for (std::size_t s = 0; s < accepted.size(); ++s) {
+      if (is_excluded(outcome.excluded, accepted[s].client)) continue;
+      tau_eff_r += weights[s] * accepted[s].tau;
+      kept += weights[s];
+    }
+    if (kept > 0.0) tau_eff_r /= kept;
+    std::vector<float> w_new = w_global;
+    for (std::size_t j = 0; j < w_new.size(); ++j) {
+      if (outcome.defined[j]) {
+        w_new[j] -= float(tau_eff_r * config_.server_lr) * outcome.value[j];
+      }
+    }
+    nn::unflatten_values(w_new, views);
+    unflatten_bn_stats(
+        robust_bn_mean(accepted, weights, outcome.excluded, bn_dim), global_);
+    return;
+  }
   std::vector<float> d_accum(w_global.size(), 0.0f);  // sum p_i * d_i
   std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
   double tau_eff = 0.0;
@@ -334,6 +468,63 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
   }
   if (!quorum_met(accepted.size())) return;
 
+  if (robust_active()) {
+    // Robustify both server aggregates. The displacement dw is what an
+    // attacker poisons directly; the control-variate delta dc is derived
+    // from the same delivered weights, so a poisoned update would otherwise
+    // leak into c through the plain mean and bias every future round.
+    // Exclusion is decided on dw; excluded clients commit no c_i
+    // (transactional, like a lost uplink) and contribute to neither center.
+    const std::size_t bn_dim = flatten_bn_stats(global_).size();
+    std::vector<std::vector<float>> dw(accepted.size()), dc(accepted.size());
+    std::vector<RobustUpdate> dw_ups(accepted.size());
+    for (std::size_t s = 0; s < accepted.size(); ++s) {
+      const auto& up = accepted[s];
+      const auto& c_i = client_c_[up.client];
+      dw[s].resize(w_global.size());
+      dc[s].resize(w_global.size());
+      for (std::size_t j = 0; j < w_global.size(); ++j) {
+        dw[s][j] = float(up.scale) * (up.flat[j] - w_global[j]);
+        const float c_new = c_i[j] - server_c_[j] +
+                            float((w_global[j] - up.flat[j]) / up.tau);
+        dc[s][j] = c_new - c_i[j];
+      }
+      dw_ups[s] = {up.client, 1.0, &dw[s], nullptr};
+    }
+    const auto dw_out = robust_combine(dw_ups, w_global.size(), nullptr);
+
+    std::vector<RobustUpdate> dc_ups;
+    std::vector<double> bn_weights(accepted.size(), 1.0);
+    std::size_t kept = 0;
+    for (std::size_t s = 0; s < accepted.size(); ++s) {
+      if (is_excluded(dw_out.excluded, accepted[s].client)) continue;
+      dc_ups.push_back({accepted[s].client, 1.0, &dc[s], nullptr});
+      auto& c_i = client_c_[accepted[s].client];
+      for (std::size_t j = 0; j < w_global.size(); ++j) c_i[j] += dc[s][j];
+      ++kept;
+    }
+    const auto dc_out = robust_->aggregate(dc_ups, w_global.size(), nullptr);
+    stats_.clipped += dc_out.clipped;
+
+    std::vector<float> w_new = w_global;
+    for (std::size_t j = 0; j < w_global.size(); ++j) {
+      if (dw_out.defined[j]) {
+        w_new[j] += float(config_.server_lr) * dw_out.value[j];
+      }
+    }
+    nn::unflatten_values(w_new, views);
+    unflatten_bn_stats(
+        robust_bn_mean(accepted, bn_weights, dw_out.excluded, bn_dim),
+        global_);
+    // c <- c + |kept|/N * center(dc): the robust analogue of eq. 11's
+    // c + sum(dc)/N, with the mean replaced by the configured center.
+    const float c_step = float(double(kept) / double(env_.num_clients()));
+    for (std::size_t j = 0; j < w_global.size(); ++j) {
+      if (dc_out.defined[j]) server_c_[j] += c_step * dc_out.value[j];
+    }
+    return;
+  }
+
   std::vector<float> dw_accum(w_global.size(), 0.0f);
   std::vector<float> dc_accum(w_global.size(), 0.0f);
   std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
@@ -360,6 +551,26 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
   unflatten_bn_stats(bn_accum, global_);
   // c <- c + |S|/N * mean(dc) = c + sum(dc)/N  (eq. 11)
   axpy(server_c_, dc_accum, 1.0f / float(env_.num_clients()));
+}
+
+void Scaffold::save_state(RunCheckpoint& out) {
+  FederatedAlgorithm::save_state(out);
+  out.entries.push_back(pack_floats("algo/scaffold/c", server_c_));
+  // Lazily-initialized per-client variates: only materialized ones travel.
+  for (std::size_t i = 0; i < client_c_.size(); ++i) {
+    if (client_c_[i].empty()) continue;
+    out.entries.push_back(
+        pack_floats("algo/scaffold/ci/" + std::to_string(i), client_c_[i]));
+  }
+}
+
+void Scaffold::load_state(const RunCheckpoint& in) {
+  FederatedAlgorithm::load_state(in);
+  server_c_ = unpack_floats(in.at("algo/scaffold/c"));
+  for (std::size_t i = 0; i < client_c_.size(); ++i) {
+    const tensor::Tensor* t = in.find("algo/scaffold/ci/" + std::to_string(i));
+    client_c_[i] = (t != nullptr) ? unpack_floats(*t) : std::vector<float>{};
+  }
 }
 
 std::unique_ptr<FederatedAlgorithm> make_baseline(const std::string& name,

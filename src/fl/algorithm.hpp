@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "data/train.hpp"
+#include "fl/checkpoint.hpp"
 #include "fl/comm.hpp"
 #include "fl/environment.hpp"
 #include "fl/fault.hpp"
+#include "fl/robust.hpp"
 #include "models/split_model.hpp"
 
 namespace spatl::fl {
@@ -80,6 +82,13 @@ class FederatedAlgorithm {
   void begin_round(std::size_t round, RoundStats admission = RoundStats{});
   const RoundStats& round_stats() const { return stats_; }
 
+  /// Capture / restore the algorithm's complete mutable state for
+  /// crash-recoverable rounds. The base class handles the global flat
+  /// weights and BN statistics ("algo/w", "algo/bn"); subclasses with
+  /// additional server or per-client state override both and call the base.
+  virtual void save_state(RunCheckpoint& out);
+  virtual void load_state(const RunCheckpoint& in);
+
  protected:
   /// Load global weights + BN stats into the worker model.
   void load_global_into_worker();
@@ -106,6 +115,20 @@ class FederatedAlgorithm {
   /// caller must leave the global model untouched).
   bool quorum_met(std::size_t accepted_count);
 
+  /// True when a non-default robust aggregator is configured. The
+  /// kWeightedMean default keeps each algorithm's original fused
+  /// aggregation loop (bit-identical to the clean-world path); any other
+  /// kind routes per-client update vectors through robust_combine().
+  bool robust_active() const;
+
+  /// Run the configured robust aggregator over materialized per-client
+  /// update vectors and fold the outcome (suspects, clip count) into the
+  /// round statistics. `dim` is the per-update vector length; `reference`
+  /// is the center used by norm-clipping (may be null).
+  AggregateOutcome robust_combine(const std::vector<RobustUpdate>& updates,
+                                  std::size_t dim,
+                                  const std::vector<float>* reference);
+
   FlEnvironment& env_;
   FlConfig config_;
   common::Rng rng_;
@@ -116,6 +139,7 @@ class FederatedAlgorithm {
   const FaultModel* fault_ = nullptr;  // not owned; may be null
   bool defended_ = false;              // resilience policy active
   ResilienceConfig resilience_;
+  std::unique_ptr<RobustAggregator> robust_;  // built from resilience_
   RoundStats stats_;
   std::size_t fault_round_ = 0;
 };
@@ -148,6 +172,8 @@ class Scaffold : public FederatedAlgorithm {
   Scaffold(FlEnvironment& env, FlConfig config);
   std::string name() const override { return "scaffold"; }
   void run_round(const std::vector<std::size_t>& selected) override;
+  void save_state(RunCheckpoint& out) override;
+  void load_state(const RunCheckpoint& in) override;
 
  private:
   std::vector<float> server_c_;

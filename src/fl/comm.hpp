@@ -39,6 +39,14 @@ class CommLedger {
 
   void reset() { up_ = down_ = retransmit_ = 0.0; }
 
+  /// Checkpoint restore: overwrite the counters with previously-captured
+  /// totals so a resumed run's cumulative byte series continues exactly.
+  void restore(double uplink, double downlink, double retransmitted) {
+    up_ = uplink;
+    down_ = downlink;
+    retransmit_ = retransmitted;
+  }
+
  private:
   double up_ = 0.0;
   double down_ = 0.0;

@@ -18,6 +18,8 @@ enum class Stream : std::uint64_t {
   kFate = 0x1ULL,
   kLoss = 0x2ULL,
   kCorrupt = 0x3ULL,
+  kByzantine = 0x4ULL,  // membership: keyed on client only (round = 0)
+  kAttack = 0x5ULL,     // per-round attack noise draws
 };
 
 /// Order-independent per-decision generator: the seed is mixed with the
@@ -37,13 +39,35 @@ common::Rng keyed_rng(std::uint64_t seed, std::size_t round,
 
 bool FaultConfig::any_faults() const {
   if (dropout_rate > 0.0 || straggler_rate > 0.0 || corruption_rate > 0.0 ||
-      loss_rate > 0.0) {
+      loss_rate > 0.0 || byzantine_fraction > 0.0) {
     return true;
   }
   for (const double a : availability) {
     if (a < 1.0) return true;
   }
+  for (const std::uint8_t b : byzantine_clients) {
+    if (b != 0) return true;
+  }
   return false;
+}
+
+const char* attack_kind_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kSignFlip: return "signflip";
+    case AttackKind::kScale: return "scale";
+    case AttackKind::kGaussianNoise: return "noise";
+    case AttackKind::kFixedDirection: return "collude";
+  }
+  return "unknown";
+}
+
+AttackKind parse_attack_kind(const std::string& name) {
+  if (name == "signflip") return AttackKind::kSignFlip;
+  if (name == "scale") return AttackKind::kScale;
+  if (name == "noise") return AttackKind::kGaussianNoise;
+  if (name == "collude") return AttackKind::kFixedDirection;
+  throw std::invalid_argument("unknown attack '" + name +
+                              "' (signflip|scale|noise|collude)");
 }
 
 const char* reject_reason_name(RejectReason reason) {
@@ -68,8 +92,63 @@ FaultModel::FaultModel(FaultConfig config) : config_(std::move(config)) {
   check_rate(config_.straggler_rate, "straggler_rate");
   check_rate(config_.corruption_rate, "corruption_rate");
   check_rate(config_.loss_rate, "loss_rate");
+  check_rate(config_.byzantine_fraction, "byzantine_fraction");
   for (const double a : config_.availability) check_rate(a, "availability");
   enabled_ = config_.any_faults();
+}
+
+bool FaultModel::is_byzantine(std::size_t client) const {
+  if (!config_.byzantine_clients.empty()) {
+    return config_.byzantine_clients[client %
+                                     config_.byzantine_clients.size()] != 0;
+  }
+  if (config_.byzantine_fraction <= 0.0) return false;
+  // Round 0 keys the membership stream: the cohort is a per-client property,
+  // not a per-round draw.
+  auto rng = keyed_rng(config_.seed, 0, client, Stream::kByzantine);
+  return rng.bernoulli(config_.byzantine_fraction);
+}
+
+bool FaultModel::attack(std::size_t round, std::size_t client,
+                        std::vector<float>& payload,
+                        const std::vector<float>* reference) const {
+  if (payload.empty() || !is_byzantine(client)) return false;
+  const bool aligned =
+      reference != nullptr && reference->size() == payload.size();
+  auto ref = [&](std::size_t j) {
+    return aligned ? double((*reference)[j]) : 0.0;
+  };
+  switch (config_.attack_kind) {
+    case AttackKind::kSignFlip:
+      for (std::size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = float(2.0 * ref(j) - double(payload[j]));
+      }
+      break;
+    case AttackKind::kScale:
+      for (std::size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = float(ref(j) +
+                           config_.attack_scale * (double(payload[j]) - ref(j)));
+      }
+      break;
+    case AttackKind::kGaussianNoise: {
+      auto rng = keyed_rng(config_.seed, round, client, Stream::kAttack);
+      for (auto& x : payload) {
+        x = float(double(x) + config_.attack_noise_std * rng.normal());
+      }
+      break;
+    }
+    case AttackKind::kFixedDirection:
+      // Every Byzantine client pushes the SAME pseudo-random +-1 direction
+      // derived from the seed alone, in every round: the textbook colluding
+      // fixed-direction attack a plain mean cannot dilute.
+      for (std::size_t j = 0; j < payload.size(); ++j) {
+        std::uint64_t h = config_.seed ^ (0x9E3779B97F4A7C15ULL * (j + 1));
+        const double dir = (common::splitmix64(h) & 1ULL) ? 1.0 : -1.0;
+        payload[j] = float(ref(j) + config_.attack_scale * dir);
+      }
+      break;
+  }
+  return true;
 }
 
 ClientFault FaultModel::assess(std::size_t round, std::size_t client) const {

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fl/robust.hpp"
+
 namespace spatl::fl {
 
 enum class CorruptionKind {
@@ -27,6 +29,20 @@ enum class CorruptionKind {
   kInf,      // overwrite with alternating +/- infinity
   kBitFlip,  // flip one random bit of the float's payload
 };
+
+/// Adversarial (Byzantine) client behaviours. Unlike the benign corruption
+/// kinds above, these craft updates that are finite and plausibly scaled, so
+/// they pass validation and must be defeated at aggregation time.
+enum class AttackKind {
+  kSignFlip,        // transmit ref - (w - ref): the exact anti-update
+  kScale,           // transmit ref + scale * (w - ref): boosted update
+  kGaussianNoise,   // add N(0, noise_std^2) per coordinate
+  kFixedDirection,  // colluding clients all push ref + scale * u (shared u)
+};
+
+const char* attack_kind_name(AttackKind kind);
+/// Parse "signflip|scale|noise|collude". Throws std::invalid_argument.
+AttackKind parse_attack_kind(const std::string& name);
 
 struct FaultConfig {
   /// Per-(round, client) Bernoulli probability the client is unavailable at
@@ -57,6 +73,19 @@ struct FaultConfig {
   /// Per-attempt probability an uplink transmission is lost (each retry is
   /// a fresh Bernoulli draw and re-pays the payload bytes).
   double loss_rate = 0.0;
+
+  /// Fraction of the client population that behaves adversarially.
+  /// Membership is keyed on (seed, client) only, so a Byzantine client is
+  /// Byzantine in every round — the standard static-adversary model.
+  double byzantine_fraction = 0.0;
+  /// Explicit membership mask (`byzantine_clients[i % size]` != 0 marks
+  /// client i adversarial). Overrides byzantine_fraction when non-empty.
+  std::vector<std::uint8_t> byzantine_clients;
+  AttackKind attack_kind = AttackKind::kSignFlip;
+  /// Boost factor for kScale / push magnitude for kFixedDirection.
+  double attack_scale = 10.0;
+  /// Per-coordinate noise stddev for kGaussianNoise.
+  double attack_noise_std = 1.0;
 
   std::uint64_t seed = 0x5EEDFA17ULL;
 
@@ -91,6 +120,24 @@ struct ResilienceConfig {
   /// Aggregation weight multiplier for stragglers that miss the deadline;
   /// 0 rejects their updates outright (RejectReason::kDeadline).
   double stale_weight = 0.5;
+
+  /// Byzantine-robust aggregation rule applied to the accepted updates.
+  /// kWeightedMean is the classic FedAvg estimate and keeps the exact
+  /// clean-world arithmetic; the other kinds trade a little statistical
+  /// efficiency for a non-zero breakdown point.
+  AggregatorKind aggregator = AggregatorKind::kWeightedMean;
+  /// kTrimmedMean: fraction of order statistics dropped from EACH end of
+  /// every coordinate's sample before averaging.
+  double trim_fraction = 0.2;
+  /// kKrum: assumed upper bound f on the number of Byzantine clients
+  /// (scores sum the n - f - 2 smallest pairwise distances).
+  std::size_t krum_f = 0;
+  /// kKrum: number of lowest-scoring updates averaged (1 = classic Krum,
+  /// >1 = multi-Krum).
+  std::size_t multi_krum = 1;
+  /// kNormClippedMean: L2 clip threshold on each update's deviation from
+  /// the reference; 0 auto-tunes to the median update norm.
+  double clip_norm = 0.0;
 };
 
 enum class ClientFate {
@@ -131,6 +178,20 @@ class FaultModel {
   bool corrupt(std::size_t round, std::size_t client,
                std::vector<float>& payload) const;
 
+  /// True when `client` is a member of the Byzantine cohort (stable across
+  /// rounds by construction).
+  bool is_byzantine(std::size_t client) const;
+
+  /// Apply the configured adversarial behaviour to `payload` in place (a
+  /// Byzantine client attacks every round it participates). `reference` is
+  /// the vector the honest client would have diverged from (the global
+  /// weights, positionally aligned with the payload); null treats the
+  /// reference as the origin, i.e. the payload is already a delta. Returns
+  /// true when the attack fired.
+  bool attack(std::size_t round, std::size_t client,
+              std::vector<float>& payload,
+              const std::vector<float>* reference = nullptr) const;
+
  private:
   FaultConfig config_;
   bool enabled_ = false;
@@ -151,6 +212,21 @@ struct RoundStats {
   std::size_t retransmissions = 0;  // extra transmission attempts
   /// True when the round was skipped (admission or post-validation quorum).
   bool skipped = false;
+  /// True when the divergence guard rolled the round back and re-aggregated
+  /// with the fallback robust rule.
+  bool rolled_back = false;
+
+  // --- adversary attribution -------------------------------------------
+  /// Clients whose delivered payloads were adversarially crafted this round
+  /// (ground truth from the fault model, for attack/defense evaluation).
+  std::vector<std::size_t> attackers;
+  /// Clients the robust aggregator excluded wholesale (Krum non-selection).
+  std::vector<std::size_t> suspects;
+  /// Updates the aggregator neutralized without excluding (norm clips).
+  std::size_t clipped = 0;
+  /// Clients whose updates were rejected by validation (by id, parallel to
+  /// the rejected_* counters; feeds the fault-aware sampling EMA).
+  std::vector<std::size_t> rejected_clients;
 
   std::size_t rejected_total() const {
     return rejected_non_finite + rejected_norm + rejected_lost +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/log.hpp"
 
@@ -16,7 +17,41 @@ void accumulate(RunResult& result, const RoundStats& stats) {
   result.total_accepted += stats.accepted;
   result.total_rejected += stats.rejected_total();
   result.total_retransmissions += stats.retransmissions;
+  result.total_attacked += stats.attackers.size();
+  result.total_suspected += stats.suspects.size();
   if (stats.skipped) ++result.rounds_skipped;
+  if (stats.rolled_back) ++result.rounds_rolled_back;
+}
+
+bool contains(const std::vector<std::size_t>& v, std::size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// Weighted sampling without replacement: `count` distinct indices drawn
+/// proportionally to `weights` (already floored > 0). Output sorted so the
+/// algorithms' per-client iteration order is stable.
+std::vector<std::size_t> weighted_sample_without_replacement(
+    common::Rng& rng, std::vector<double> weights, std::size_t count) {
+  count = std::min(count, weights.size());
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t pick = rng.categorical(weights);
+    if (weights[pick] <= 0.0) {
+      // Exact-zero uniform draw can land on an exhausted slot; take the
+      // first live one instead of double-selecting.
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] > 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    out.push_back(pick);
+    weights[pick] = 0.0;  // removed from the pool
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace
@@ -41,21 +76,69 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   if (defended) {
     algo.set_fault_injection(faults ? &*faults : nullptr, resilience);
   }
+  const bool guard = opts.divergence_factor > 0.0;
 
-  for (std::size_t round = 1; round <= opts.rounds; ++round) {
-    const auto selected =
-        sampler.sample_without_replacement(num_clients, per_round);
+  // Per-client failure EMA for fault-aware sampling (satellite): dropped,
+  // lost, or rejected uplinks raise it; clean rounds decay it.
+  std::vector<double> fail_ema(num_clients, 0.0);
+  const double ema_decay = std::clamp(opts.fault_ema_decay, 0.0, 1.0);
+
+  double prev_loss = std::numeric_limits<double>::quiet_NaN();
+  std::size_t start_round = 1;
+  if (opts.resume != nullptr && !opts.resume->empty()) {
+    const RunCheckpoint& ckpt = *opts.resume;
+    algo.load_state(ckpt);
+    start_round = std::size_t(unpack_u64s(ckpt.at("run/round"))[0]) + 1;
+    unpack_rng(ckpt.at("run/sampler_rng"), sampler);
+    const auto lg = unpack_doubles(ckpt.at("run/ledger"));
+    algo.ledger().restore(lg[0], lg[1], lg[2]);
+    const auto ema = unpack_doubles(ckpt.at("run/ema"));
+    if (ema.size() == num_clients) fail_ema = ema;
+    const auto totals = unpack_u64s(ckpt.at("run/totals"));
+    result.total_selected = std::size_t(totals[0]);
+    result.total_dropped = std::size_t(totals[1]);
+    result.total_stragglers = std::size_t(totals[2]);
+    result.total_accepted = std::size_t(totals[3]);
+    result.total_rejected = std::size_t(totals[4]);
+    result.total_retransmissions = std::size_t(totals[5]);
+    result.rounds_skipped = std::size_t(totals[6]);
+    result.total_attacked = std::size_t(totals[7]);
+    result.total_suspected = std::size_t(totals[8]);
+    result.rounds_rolled_back = std::size_t(totals[9]);
+    const auto series = unpack_doubles(ckpt.at("run/series"));
+    result.best_accuracy = series[0];
+    result.final_accuracy = series[1];
+    prev_loss = series[2];
+  }
+
+  for (std::size_t round = start_round; round <= opts.rounds; ++round) {
+    std::vector<std::size_t> selected;
+    if (opts.fault_aware_sampling) {
+      // Selection weight shrinks with the failure EMA but never below the
+      // floor: flaky clients are down-weighted, not starved.
+      std::vector<double> weights(num_clients, 1.0);
+      for (std::size_t i = 0; i < num_clients; ++i) {
+        weights[i] =
+            std::max(opts.fault_sampling_floor, 1.0 - fail_ema[i]);
+      }
+      selected =
+          weighted_sample_without_replacement(sampler, weights, per_round);
+    } else {
+      selected = sampler.sample_without_replacement(num_clients, per_round);
+    }
 
     // Admission: drop clients unavailable this round, flag stragglers.
     RoundStats admission;
     admission.selected = selected.size();
     std::vector<std::size_t> active;
+    std::vector<std::size_t> dropped_ids;
     if (faults && faults->enabled()) {
       active.reserve(selected.size());
       for (const std::size_t i : selected) {
         const ClientFault f = faults->assess(round, i);
         if (f.fate == ClientFate::kUnavailable) {
           ++admission.dropped;
+          dropped_ids.push_back(i);
           continue;
         }
         if (f.fate == ClientFate::kStraggler) ++admission.stragglers;
@@ -66,6 +149,7 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
     }
 
     RoundStats stats = admission;
+    std::optional<EvalSummary> guard_eval;
     if (active.size() < quorum) {
       // Not enough live participants to even start: skip the round and
       // leave the global model untouched.
@@ -74,14 +158,66 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
                         " skipped below quorum (", active.size(), "/",
                         quorum, ")");
     } else {
+      // Pre-round snapshot for the divergence guard: algorithm state plus
+      // ledger counters, so a rolled-back round leaves no trace (bytes are
+      // metered once, by the re-run).
+      RunCheckpoint snapshot;
+      double snap_up = 0.0, snap_down = 0.0, snap_re = 0.0;
+      if (guard) {
+        algo.save_state(snapshot);
+        snap_up = algo.ledger().uplink_bytes();
+        snap_down = algo.ledger().downlink_bytes();
+        snap_re = algo.ledger().retransmitted_bytes();
+      }
       if (defended) algo.begin_round(round, admission);
       algo.run_round(active);
       if (defended) stats = algo.round_stats();
+      if (guard) {
+        EvalSummary eval = algo.evaluate_clients();
+        const bool exploded =
+            !std::isfinite(eval.avg_loss) ||
+            (std::isfinite(prev_loss) && prev_loss > 0.0 &&
+             eval.avg_loss > opts.divergence_factor * prev_loss);
+        if (exploded) {
+          common::log_debug(algo.name(), " round ", round,
+                            " diverged (loss ", eval.avg_loss,
+                            "), rolling back and re-aggregating with ",
+                            aggregator_kind_name(opts.divergence_fallback));
+          algo.load_state(snapshot);
+          algo.ledger().restore(snap_up, snap_down, snap_re);
+          ResilienceConfig fallback = resilience;
+          fallback.aggregator = opts.divergence_fallback;
+          algo.set_fault_injection(faults ? &*faults : nullptr, fallback);
+          algo.begin_round(round, admission);
+          algo.run_round(active);
+          stats = algo.round_stats();
+          stats.rolled_back = true;
+          if (defended) {
+            algo.set_fault_injection(faults ? &*faults : nullptr,
+                                     resilience);
+          } else {
+            algo.clear_fault_injection();
+          }
+          eval = algo.evaluate_clients();
+        }
+        prev_loss = eval.avg_loss;
+        guard_eval = eval;
+      }
     }
     accumulate(result, stats);
 
+    if (opts.fault_aware_sampling) {
+      for (const std::size_t i : selected) {
+        const bool failed = contains(dropped_ids, i) ||
+                            contains(stats.rejected_clients, i);
+        fail_ema[i] =
+            ema_decay * fail_ema[i] + (1.0 - ema_decay) * (failed ? 1.0 : 0.0);
+      }
+    }
+
     if (round % opts.eval_every == 0 || round == opts.rounds) {
-      const EvalSummary eval = algo.evaluate_clients();
+      const EvalSummary eval =
+          guard_eval ? *guard_eval : algo.evaluate_clients();
       RoundRecord rec;
       rec.round = round;
       rec.avg_accuracy = eval.avg_accuracy;
@@ -100,6 +236,36 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
         result.rounds_to_target = round;
         break;
       }
+    }
+
+    if (opts.checkpoint_every > 0 && round % opts.checkpoint_every == 0) {
+      RunCheckpoint ckpt;
+      algo.save_state(ckpt);
+      ckpt.entries.push_back(pack_u64s("run/round", {std::uint64_t(round)}));
+      ckpt.entries.push_back(pack_rng("run/sampler_rng", sampler));
+      ckpt.entries.push_back(pack_doubles(
+          "run/ledger", {algo.ledger().uplink_bytes(),
+                         algo.ledger().downlink_bytes(),
+                         algo.ledger().retransmitted_bytes()}));
+      ckpt.entries.push_back(pack_doubles("run/ema", fail_ema));
+      ckpt.entries.push_back(pack_u64s(
+          "run/totals",
+          {std::uint64_t(result.total_selected),
+           std::uint64_t(result.total_dropped),
+           std::uint64_t(result.total_stragglers),
+           std::uint64_t(result.total_accepted),
+           std::uint64_t(result.total_rejected),
+           std::uint64_t(result.total_retransmissions),
+           std::uint64_t(result.rounds_skipped),
+           std::uint64_t(result.total_attacked),
+           std::uint64_t(result.total_suspected),
+           std::uint64_t(result.rounds_rolled_back)}));
+      ckpt.entries.push_back(pack_doubles(
+          "run/series",
+          {result.best_accuracy, result.final_accuracy, prev_loss}));
+      if (!opts.checkpoint_path.empty()) ckpt.save(opts.checkpoint_path);
+      result.last_checkpoint = std::move(ckpt);
+      ++result.checkpoints_written;
     }
   }
   result.total_bytes = algo.ledger().total_bytes();

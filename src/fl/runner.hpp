@@ -14,10 +14,13 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "fl/algorithm.hpp"
+#include "fl/checkpoint.hpp"
 #include "fl/fault.hpp"
+#include "fl/robust.hpp"
 
 namespace spatl::fl {
 
@@ -46,6 +49,30 @@ struct RunOptions {
   /// nullopt = defaults when `faults` is set; when neither is set the
   /// legacy undefended code path runs unchanged.
   std::optional<ResilienceConfig> resilience;
+
+  /// Fault-aware client sampling: track a per-client failure EMA (dropped,
+  /// lost, or rejected uplinks count as failures) and down-weight flaky
+  /// clients during selection. Off = the legacy uniform
+  /// sample_without_replacement path, bit for bit.
+  bool fault_aware_sampling = false;
+  double fault_ema_decay = 0.9;         // history retained per round
+  double fault_sampling_floor = 0.15;   // minimum relative selection weight
+
+  /// Crash-recoverable rounds: capture a full-state checkpoint every
+  /// `checkpoint_every` rounds (0 = off), written to `checkpoint_path` when
+  /// non-empty; the latest snapshot is also returned in RunResult. Passing
+  /// `resume` restores a prior snapshot before the loop and continues from
+  /// the following round, bit-identically to the uninterrupted run.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  const RunCheckpoint* resume = nullptr;  // not owned; may be null
+
+  /// Divergence guard: when > 0, evaluate after every round; if the average
+  /// loss is non-finite or exceeds `divergence_factor` times the previous
+  /// round's loss, roll the round back (model, control state, ledger) and
+  /// re-aggregate it with `divergence_fallback` instead. 0 = off.
+  double divergence_factor = 0.0;
+  AggregatorKind divergence_fallback = AggregatorKind::kCoordinateMedian;
 };
 
 struct RunResult {
@@ -68,6 +95,14 @@ struct RunResult {
   std::size_t rounds_skipped = 0;
   /// Bytes re-sent by the bounded-retry path (also included in total_bytes).
   double retransmitted_bytes = 0.0;
+
+  // Byzantine robustness and recovery totals (all zero on the clean path).
+  std::size_t total_attacked = 0;      // adversarially crafted uplinks
+  std::size_t total_suspected = 0;     // robust-aggregator exclusions
+  std::size_t rounds_rolled_back = 0;  // divergence-guard interventions
+  std::size_t checkpoints_written = 0;
+  /// The latest full-state snapshot (empty when checkpointing is off).
+  RunCheckpoint last_checkpoint;
 };
 
 using RoundCallback =

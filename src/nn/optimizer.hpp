@@ -60,6 +60,15 @@ class Adam : public Optimizer {
   double learning_rate() const override { return opts_.lr; }
   void set_learning_rate(double lr) override { opts_.lr = lr; }
 
+  /// Exact optimizer state for checkpoint/restore (moments are laid out
+  /// parallel to the bound ParamViews).
+  std::vector<std::vector<float>>& first_moments() { return m_; }
+  std::vector<std::vector<float>>& second_moments() { return v_; }
+  const std::vector<std::vector<float>>& first_moments() const { return m_; }
+  const std::vector<std::vector<float>>& second_moments() const { return v_; }
+  std::int64_t step_count() const { return t_; }
+  void set_step_count(std::int64_t t) { t_ = t; }
+
  private:
   std::vector<ParamView> params_;
   AdamOptions opts_;

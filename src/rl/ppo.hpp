@@ -52,6 +52,14 @@ class PpoAgent {
   const PpoConfig& config() const { return config_; }
   PolicyNetwork& network() { return *net_; }
 
+  /// Checkpoint access: the exploration RNG and the Adam moments are the
+  /// only mutable state besides the network weights once the transition
+  /// buffer has drained (update() clears it between FL rounds).
+  common::Rng& rng() { return rng_; }
+  const common::Rng& rng() const { return rng_; }
+  nn::Adam& adam() { return *optimizer_; }
+  bool has_pending() const { return has_pending_; }
+
   /// Deep copy with an independent RNG stream (per-client customization).
   PpoAgent clone(std::uint64_t seed) const;
 

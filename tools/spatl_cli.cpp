@@ -48,6 +48,16 @@ int usage() {
                "            nan|inf|bitflip] [--fault-loss F] [--fault-seed S]\n"
                "           [--fault-deadline T] [--max-retries N] [--quorum N]\n"
                "           [--max-update-norm F] [--stale-weight F]\n"
+               "           Byzantine attacks / robust aggregation:\n"
+               "           [--byz-fraction F] [--byz-attack signflip|scale|\n"
+               "            noise|collude] [--byz-scale F] [--byz-noise F]\n"
+               "           [--aggregator mean|median|trimmed|krum|clipped]\n"
+               "           [--trim-fraction F] [--krum-f N] [--multi-krum N]\n"
+               "           [--clip-norm F]\n"
+               "           recovery / sampling:\n"
+               "           [--checkpoint-every K] [--checkpoint-path FILE]\n"
+               "           [--resume FILE] [--divergence-factor F]\n"
+               "           [--fault-aware-sampling] [--fault-ema-decay F]\n"
                "  evaluate --ckpt FILE --arch ARCH [--input PX] [--width F]\n"
                "  prune    --arch ARCH --budget F [--rl-rounds N]\n"
                "  info     --arch ARCH [--input PX] [--width F]\n");
@@ -149,18 +159,42 @@ int cmd_train(const common::Flags& flags) {
   else if (kind != "nan") {
     throw std::invalid_argument("unknown --fault-corruption-kind " + kind);
   }
+  fc.byzantine_fraction = flags.get_double("byz-fraction", 0.0);
+  fc.attack_kind = fl::parse_attack_kind(flags.get("byz-attack", "signflip"));
+  fc.attack_scale = flags.get_double("byz-scale", fc.attack_scale);
+  fc.attack_noise_std = flags.get_double("byz-noise", fc.attack_noise_std);
   if (fc.any_faults()) ro.faults = fc;
 
   const bool resilience_flags =
       flags.has("quorum") || flags.has("max-update-norm") ||
-      flags.has("stale-weight") || flags.has("max-retries");
+      flags.has("stale-weight") || flags.has("max-retries") ||
+      flags.has("aggregator");
   if (resilience_flags || ro.faults) {
     fl::ResilienceConfig rc;
     rc.min_quorum = std::size_t(flags.get_int("quorum", 1));
     rc.max_update_norm = flags.get_double("max-update-norm", 0.0);
     rc.stale_weight = flags.get_double("stale-weight", rc.stale_weight);
     rc.max_retries = std::size_t(flags.get_int("max-retries", 2));
+    rc.aggregator = fl::parse_aggregator_kind(flags.get("aggregator", "mean"));
+    rc.trim_fraction = flags.get_double("trim-fraction", rc.trim_fraction);
+    rc.krum_f = std::size_t(flags.get_int("krum-f", 0));
+    rc.multi_krum = std::size_t(flags.get_int("multi-krum", 1));
+    rc.clip_norm = flags.get_double("clip-norm", 0.0);
     ro.resilience = rc;
+  }
+
+  ro.fault_aware_sampling = flags.get_bool("fault-aware-sampling", false);
+  ro.fault_ema_decay =
+      flags.get_double("fault-ema-decay", ro.fault_ema_decay);
+  ro.checkpoint_every = std::size_t(flags.get_int("checkpoint-every", 0));
+  ro.checkpoint_path = flags.get("checkpoint-path");
+  ro.divergence_factor = flags.get_double("divergence-factor", 0.0);
+  fl::RunCheckpoint resume_ckpt;
+  const std::string resume_path = flags.get("resume");
+  if (!resume_path.empty()) {
+    resume_ckpt = fl::RunCheckpoint::load(resume_path);
+    ro.resume = &resume_ckpt;
+    std::printf("resuming from %s\n", resume_path.c_str());
   }
 
   const auto result = fl::run_federated(
@@ -182,6 +216,19 @@ int cmd_train(const common::Flags& flags) {
         result.total_stragglers, result.total_rejected,
         result.rounds_skipped, result.total_retransmissions,
         common::format_bytes(result.retransmitted_bytes).c_str());
+    if (result.total_attacked > 0 || result.total_suspected > 0 ||
+        result.rounds_rolled_back > 0) {
+      std::printf(
+          "robustness: %zu attacked uplinks, %zu suspected by the "
+          "aggregator, %zu rounds rolled back\n",
+          result.total_attacked, result.total_suspected,
+          result.rounds_rolled_back);
+    }
+  }
+  if (result.checkpoints_written > 0) {
+    std::printf("checkpoints: %zu written%s%s\n", result.checkpoints_written,
+                ro.checkpoint_path.empty() ? "" : " to ",
+                ro.checkpoint_path.c_str());
   }
 
   const std::string out = flags.get("out");
