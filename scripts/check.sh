@@ -1,43 +1,100 @@
 #!/usr/bin/env bash
-# Verification gates.
+# Verification tiers. See DESIGN.md §9.
 #
-#   scripts/check.sh [build-dir]         sanitizer tier (default): build the
-#       whole tree under AddressSanitizer + UndefinedBehaviorSanitizer and
-#       run the test suite. Catches the memory and UB bugs the plain
-#       Release build hides. Default build dir: build-sanitize.
+#   scripts/check.sh [--san] [build-dir]   sanitizer tier (default): build the
+#       whole tree under AddressSanitizer + UndefinedBehaviorSanitizer with
+#       SPATL_DCHECK invariants on and leak detection enabled, and run the
+#       full test suite. Default build dir: build-sanitize.
 #
-#   scripts/check.sh --fast [build-dir]  tier-1 only: plain Release build +
-#       ctest, no sanitizers. The quick pre-commit loop; the sanitizer tier
-#       stays the merge gate. Default build dir: build.
+#   scripts/check.sh --fast [build-dir]    tier-1 only: plain Release build +
+#       ctest, no sanitizers. The quick pre-commit loop. Default: build.
+#
+#   scripts/check.sh --thread [build-dir]  race tier: ThreadSanitizer build
+#       (TSan cannot be combined with ASan, so it gets its own tree) running
+#       the full suite, including tests/test_concurrency.cpp stress tests.
+#       Default build dir: build-tsan.
+#
+#   scripts/check.sh --lint [build-dir]    static tier: spatl_lint repo
+#       invariants (always) + clang-tidy over src/ against the exported
+#       compile_commands.json (when clang-tidy is installed). Default: build.
+#
+#   scripts/check.sh --all                 every tier in sequence — the
+#       pre-merge gate.
+#
+# All tiers configure with SPATL_WERROR=ON: warnings fail the gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-FAST=0
-if [[ "${1:-}" == "--fast" ]]; then
-  FAST=1
-  shift
-fi
+MODE="san"
+case "${1:-}" in
+  --fast|--san|--thread|--lint|--all) MODE="${1#--}"; shift ;;
+esac
 
-if [[ "$FAST" == "1" ]]; then
-  BUILD_DIR="${1:-build}"
-  cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" -j "$(nproc)"
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+NPROC="$(nproc)"
+
+run_fast() {
+  local dir="${1:-build}"
+  cmake -B "$dir" -S . -DSPATL_WERROR=ON
+  cmake --build "$dir" -j "$NPROC"
+  ctest --test-dir "$dir" --output-on-failure -j "$NPROC"
   echo "fast check passed"
-  exit 0
-fi
+}
 
-BUILD_DIR="${1:-build-sanitize}"
+run_san() {
+  local dir="${1:-build-sanitize}"
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPATL_SANITIZE=address,undefined \
+    -DSPATL_DEBUG_CHECKS=ON \
+    -DSPATL_WERROR=ON
+  cmake --build "$dir" -j "$NPROC"
+  # halt_on_error so UBSan findings fail the suite instead of scrolling by.
+  UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    ctest --test-dir "$dir" --output-on-failure -j "$NPROC"
+  echo "sanitizer check passed"
+}
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSPATL_SANITIZE=address,undefined
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+run_thread() {
+  local dir="${1:-build-tsan}"
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPATL_SANITIZE=thread \
+    -DSPATL_DEBUG_CHECKS=ON \
+    -DSPATL_WERROR=ON
+  cmake --build "$dir" -j "$NPROC"
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+    ctest --test-dir "$dir" --output-on-failure -j "$NPROC"
+  echo "thread-sanitizer check passed"
+}
 
-# halt_on_error so UBSan findings fail the suite instead of scrolling by.
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-export ASAN_OPTIONS="detect_leaks=0"  # models free at exit; leaks are noise here
+run_lint() {
+  local dir="${1:-build}"
+  cmake -B "$dir" -S . -DSPATL_WERROR=ON
+  cmake --build "$dir" -j "$NPROC" --target spatl_lint
+  "$dir"/tools/spatl_lint .
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # .clang-tidy at the repo root selects bugprone/concurrency/performance.
+    find src -name '*.cpp' -print0 |
+      xargs -0 -P "$NPROC" -n 8 clang-tidy -p "$dir" --quiet
+    echo "clang-tidy passed"
+  else
+    echo "clang-tidy not installed; skipped (spatl_lint still enforced)"
+  fi
+  echo "lint check passed"
+}
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
-echo "sanitizer check passed"
+case "$MODE" in
+  fast)   run_fast "${1:-}" ;;
+  san)    run_san "${1:-}" ;;
+  thread) run_thread "${1:-}" ;;
+  lint)   run_lint "${1:-}" ;;
+  all)
+    run_fast
+    run_san
+    run_thread
+    run_lint
+    echo "all check tiers passed"
+    ;;
+esac

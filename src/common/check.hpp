@@ -1,0 +1,79 @@
+// Debug invariant checks: SPATL_DCHECK / SPATL_DCHECK_SHAPE /
+// SPATL_DCHECK_FINITE.
+//
+// All three macros compile to nothing unless SPATL_DEBUG_CHECKS is defined
+// (cmake -DSPATL_DEBUG_CHECKS=ON; the sanitizer tiers of scripts/check.sh
+// turn it on). When enabled, a failing check throws std::logic_error with
+// the expression, file and line — throwing (rather than aborting) keeps the
+// checks testable and lets the federated runner's round-level recovery
+// exercise them. Arguments are NOT evaluated when checks are disabled, so
+// never put side effects inside a check.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spatl::common {
+
+[[noreturn]] inline void dcheck_fail(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& detail = {}) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!detail.empty()) os << " (" << detail << ")";
+  throw std::logic_error(os.str());
+}
+
+/// True when every element of the range is finite (no NaN/Inf). Works on
+/// anything with begin/end over arithmetic values: std::span, std::vector,
+/// Tensor::span().
+template <typename Range>
+bool range_all_finite(const Range& r) {
+  for (const auto v : r) {
+    if (!std::isfinite(static_cast<double>(v))) return false;
+  }
+  return true;
+}
+
+}  // namespace spatl::common
+
+#if defined(SPATL_DEBUG_CHECKS)
+
+#define SPATL_DCHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::spatl::common::dcheck_fail("SPATL_DCHECK", #cond, __FILE__,     \
+                                   __LINE__);                           \
+    }                                                                   \
+  } while (0)
+
+/// Compares two shape-like values with operator==. Wrap braced initializers
+/// in parentheses: SPATL_DCHECK_SHAPE(t.shape(), (Shape{n, c})).
+#define SPATL_DCHECK_SHAPE(actual, expected)                            \
+  do {                                                                  \
+    if (!((actual) == (expected))) {                                    \
+      ::spatl::common::dcheck_fail("SPATL_DCHECK_SHAPE",                \
+                                   #actual " == " #expected, __FILE__,  \
+                                   __LINE__);                           \
+    }                                                                   \
+  } while (0)
+
+/// Range must contain only finite values (no NaN/Inf).
+#define SPATL_DCHECK_FINITE(range)                                      \
+  do {                                                                  \
+    if (!::spatl::common::range_all_finite(range)) {                    \
+      ::spatl::common::dcheck_fail("SPATL_DCHECK_FINITE", #range,       \
+                                   __FILE__, __LINE__);                 \
+    }                                                                   \
+  } while (0)
+
+#else  // !SPATL_DEBUG_CHECKS
+
+#define SPATL_DCHECK(cond) ((void)0)
+#define SPATL_DCHECK_SHAPE(actual, expected) ((void)0)
+#define SPATL_DCHECK_FINITE(range) ((void)0)
+
+#endif  // SPATL_DEBUG_CHECKS

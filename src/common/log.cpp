@@ -29,6 +29,8 @@ void set_log_level(LogLevel level) {
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  // spatl-lint: allow(chrono-now) — log timestamps are human-facing
+  // diagnostics; no simulation state depends on them.
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   const double secs =
       std::chrono::duration_cast<std::chrono::duration<double>>(now).count();

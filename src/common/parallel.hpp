@@ -1,8 +1,15 @@
 // parallel_for: the single parallelism entry point for compute kernels.
 //
-// Splits [begin, end) into contiguous chunks and runs them on the global
+// Splits [begin, end) into contiguous chunks and runs them on the current
 // ThreadPool. `grain` bounds the smallest chunk so tiny loops stay serial
 // (thread hand-off costs more than the work below ~4k elements).
+//
+// Fixed-chunk contract: chunk boundaries are a pure function of
+// (begin, end, grain) — never of the pool size or of which thread runs a
+// chunk. Kernels that accumulate per chunk (parallel_for_ranges callers)
+// therefore produce bit-identical results on 1, 2, or N pool threads; only
+// the execution order of chunks varies. tests/test_thread_determinism.cpp
+// locks this contract.
 #pragma once
 
 #include <algorithm>
@@ -12,20 +19,36 @@
 
 namespace spatl::common {
 
+namespace detail {
+
+/// Upper bound on chunks per parallel_for. A fixed constant (not the pool
+/// size) so the chunk geometry is thread-count invariant; large enough that
+/// dynamic scheduling load-balances well past any realistic core count.
+inline constexpr std::size_t kMaxParallelChunks = 64;
+
+/// Deterministic chunk size for a range of n elements: at least `grain`,
+/// and large enough to respect kMaxParallelChunks.
+inline std::size_t chunk_size_for(std::size_t n, std::size_t grain) {
+  const std::size_t min_size = std::max<std::size_t>(1, grain);
+  const std::size_t cap_bound =
+      (n + kMaxParallelChunks - 1) / kMaxParallelChunks;
+  return std::max(min_size, cap_bound);
+}
+
+}  // namespace detail
+
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
                   std::size_t grain = 4096) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
-  ThreadPool& pool = ThreadPool::global();
-  const std::size_t max_chunks = pool.size() + 1;
-  if (n <= grain || max_chunks <= 1) {
+  const std::size_t chunk_size = detail::chunk_size_for(n, grain);
+  if (n <= chunk_size) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  const std::size_t num_chunks = std::min(max_chunks, (n + grain - 1) / grain);
-  const std::size_t chunk_size = (n + num_chunks - 1) / num_chunks;
-  pool.run_chunks(num_chunks, [&](std::size_t c) {
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  ThreadPool::current().run_chunks(num_chunks, [&](std::size_t c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
     for (std::size_t i = lo; i < hi; ++i) fn(i);
@@ -33,21 +56,21 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
 }
 
 /// Range-chunked variant: fn(lo, hi) once per chunk — lets kernels hoist
-/// per-chunk setup out of the inner loop.
+/// per-chunk setup out of the inner loop. The (lo, hi) pairs are identical
+/// for every pool size (fixed-chunk contract above), so per-chunk float
+/// reductions stay deterministic.
 template <typename Fn>
 void parallel_for_ranges(std::size_t begin, std::size_t end, Fn&& fn,
                          std::size_t grain = 4096) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
-  ThreadPool& pool = ThreadPool::global();
-  const std::size_t max_chunks = pool.size() + 1;
-  if (n <= grain || max_chunks <= 1) {
+  const std::size_t chunk_size = detail::chunk_size_for(n, grain);
+  if (n <= chunk_size) {
     fn(begin, end);
     return;
   }
-  const std::size_t num_chunks = std::min(max_chunks, (n + grain - 1) / grain);
-  const std::size_t chunk_size = (n + num_chunks - 1) / num_chunks;
-  pool.run_chunks(num_chunks, [&](std::size_t c) {
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  ThreadPool::current().run_chunks(num_chunks, [&](std::size_t c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
     fn(lo, hi);

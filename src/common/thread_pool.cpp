@@ -1,8 +1,16 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace spatl::common {
+
+namespace {
+// Active ScopedOverride target, or null for the global pool. Atomic so that
+// worker threads running nested parallel_for observe the override installed
+// by the test thread.
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
@@ -20,30 +28,30 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::execute_chunk(std::unique_lock<std::mutex>& lock,
+                               Batch& batch, std::size_t chunk,
+                               const std::function<void(std::size_t)>& fn) {
+  lock.unlock();
+  std::exception_ptr err;
+  try {
+    fn(chunk);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  lock.lock();
+  if (err && !batch.error) batch.error = err;
+  if (++batch.done == batch.total) done_cv_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    Batch* batch = nullptr;
-    std::size_t chunk = 0;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
-        return stop_ || (batch_ != nullptr && batch_->next < batch_->total);
-      });
-      if (stop_) return;
-      batch = batch_;
-      chunk = batch->next++;
-    }
-    std::exception_ptr err;
-    try {
-      (*batch->fn)(chunk);
-    } catch (...) {
-      err = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (err && !batch->error) batch->error = err;
-      if (++batch->done == batch->total) done_cv_.notify_all();
-    }
+    work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (stop_) return;
+    Batch* batch = pending_.front();
+    const std::size_t chunk = batch->next++;
+    if (batch->next >= batch->total) pending_.pop_front();
+    execute_chunk(lock, *batch, chunk, *batch->fn);
   }
 }
 
@@ -59,32 +67,23 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
   batch.total = num_chunks;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_ = &batch;
+    pending_.push_back(&batch);
   }
   work_cv_.notify_all();
-  // The calling thread also drains chunks so the pool never idles the caller.
-  for (;;) {
-    std::size_t chunk;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (batch.next >= batch.total) break;
-      chunk = batch.next++;
+  // The submitter drains its own batch: it makes progress without depending
+  // on any worker being free, which is what keeps nested calls live-locked
+  // workers cannot be. A worker claiming the last chunk pops the batch from
+  // the queue front; the submitter may claim it from mid-queue, hence erase.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (batch.next < batch.total) {
+    const std::size_t chunk = batch.next++;
+    if (batch.next >= batch.total) {
+      pending_.erase(std::find(pending_.begin(), pending_.end(), &batch));
     }
-    std::exception_ptr err;
-    try {
-      fn(chunk);
-    } catch (...) {
-      err = std::current_exception();
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (err && !batch.error) batch.error = err;
-    ++batch.done;
+    execute_chunk(lock, batch, chunk, fn);
   }
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&batch] { return batch.done == batch.total; });
-    batch_ = nullptr;
-  }
+  done_cv_.wait(lock, [&batch] { return batch.done == batch.total; });
+  lock.unlock();
   if (batch.error) std::rethrow_exception(batch.error);
 }
 
@@ -92,6 +91,18 @@ ThreadPool& ThreadPool::global() {
   static ThreadPool pool(std::max<std::size_t>(
       1, std::thread::hardware_concurrency()) - 1);
   return pool;
+}
+
+ThreadPool& ThreadPool::current() {
+  ThreadPool* override_pool = g_pool_override.load(std::memory_order_acquire);
+  return override_pool != nullptr ? *override_pool : global();
+}
+
+ThreadPool::ScopedOverride::ScopedOverride(ThreadPool& pool)
+    : previous_(g_pool_override.exchange(&pool, std::memory_order_acq_rel)) {}
+
+ThreadPool::ScopedOverride::~ScopedOverride() {
+  g_pool_override.store(previous_, std::memory_order_release);
 }
 
 }  // namespace spatl::common

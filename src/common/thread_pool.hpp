@@ -4,13 +4,18 @@
 // is shared by all tensor kernels so that nested algorithm layers never
 // oversubscribe the machine. On a 1-core host the pool degrades to inline
 // serial execution with no thread hand-off.
+//
+// `run_chunks` is safe to call concurrently from multiple threads and
+// re-entrantly from inside a running chunk (nested parallel_for): batches
+// queue up and every submitter drains its own batch inline, so submission
+// can never deadlock even when all workers are blocked in nested waits.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -19,6 +24,9 @@ namespace spatl::common {
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins the workers. All run_chunks calls must have returned; destroying
+  /// the pool while a batch is in flight is undefined behaviour.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,16 +36,38 @@ class ThreadPool {
 
   /// Run `fn(chunk_index)` for chunk_index in [0, num_chunks) across the
   /// pool, blocking until all chunks complete. Exceptions from chunks are
-  /// rethrown (first one wins) on the calling thread.
+  /// rethrown (first one wins) on the calling thread. The calling thread
+  /// participates in draining its own batch.
   void run_chunks(std::size_t num_chunks,
                   const std::function<void(std::size_t)>& fn);
 
-  /// Process-wide pool, sized to std::thread::hardware_concurrency().
+  /// Process-wide pool, sized to std::thread::hardware_concurrency() - 1.
   static ThreadPool& global();
 
- private:
-  void worker_loop();
+  /// Pool used by parallel_for: the active ScopedOverride when one is
+  /// installed, otherwise the process-wide pool.
+  static ThreadPool& current();
 
+  /// RAII override of ThreadPool::current() — pins every parallel_for in
+  /// scope (including from worker threads) to a specific pool. Overrides
+  /// nest; they are process-global, so tests that install one must not run
+  /// kernels concurrently from unrelated threads.
+  class ScopedOverride {
+   public:
+    explicit ScopedOverride(ThreadPool& pool);
+    ~ScopedOverride();
+    ScopedOverride(const ScopedOverride&) = delete;
+    ScopedOverride& operator=(const ScopedOverride&) = delete;
+
+   private:
+    ThreadPool* previous_;
+  };
+
+ private:
+  // One run_chunks call. `next` hands out chunk indices; a batch leaves
+  // `pending_` the moment its last chunk is claimed, and `done` reaching
+  // `total` releases the submitter. All fields are guarded by the pool
+  // mutex; only `fn` execution happens outside the lock.
   struct Batch {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t next = 0;
@@ -46,12 +76,19 @@ class ThreadPool {
     std::exception_ptr error;
   };
 
+  void worker_loop();
+  // Runs one chunk outside the lock and does the guarded bookkeeping.
+  // Precondition: `lock` is held. Postcondition: `lock` is held again.
+  void execute_chunk(std::unique_lock<std::mutex>& lock, Batch& batch,
+                     std::size_t chunk,
+                     const std::function<void(std::size_t)>& fn);
+
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  Batch* batch_ = nullptr;  // guarded by mu_
-  bool stop_ = false;
+  std::deque<Batch*> pending_;  // guarded by mu_; only non-exhausted batches
+  bool stop_ = false;           // guarded by mu_
 };
 
 }  // namespace spatl::common

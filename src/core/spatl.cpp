@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "data/loader.hpp"
 #include "fl/flat_utils.hpp"
 #include "prune/flops.hpp"
@@ -356,6 +357,8 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
       }
       if (!dc_ups.empty()) {
         const auto dc_out = robust_->aggregate(dc_ups, enc_dim, nullptr);
+        SPATL_DCHECK(dc_out.value.size() == enc_dim &&
+                     dc_out.defined.size() == enc_dim);
         stats_.clipped += dc_out.clipped;
         const double inv_n = 1.0 / double(env_.num_clients());
         for (std::size_t j = 0; j < enc_dim; ++j) {

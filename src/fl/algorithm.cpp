@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "data/loader.hpp"
 #include "fl/flat_utils.hpp"
 
@@ -43,7 +44,9 @@ bool FederatedAlgorithm::robust_active() const {
 AggregateOutcome FederatedAlgorithm::robust_combine(
     const std::vector<RobustUpdate>& updates, std::size_t dim,
     const std::vector<float>* reference) {
+  SPATL_DCHECK(robust_ != nullptr);
   AggregateOutcome out = robust_->aggregate(updates, dim, reference);
+  SPATL_DCHECK(out.value.size() == dim && out.defined.size() == dim);
   for (const std::size_t c : out.excluded) stats_.suspects.push_back(c);
   stats_.clipped += out.clipped;
   return out;

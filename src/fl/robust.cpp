@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "fl/fault.hpp"
 #include "fl/flat_utils.hpp"
 
@@ -42,12 +43,39 @@ void init_outcome(AggregateOutcome& out, std::size_t dim) {
   out.defined.assign(dim, 0);
 }
 
+/// Structural invariants of an update batch (debug builds only): every
+/// update carries a payload; dense payloads are exactly `dim` floats;
+/// masked payloads carry one float per owned coordinate. A violation here
+/// means a caller compacted or flattened inconsistently — the estimators
+/// below would silently misalign coordinates.
+void dcheck_updates(const std::vector<RobustUpdate>& updates,
+                    std::size_t dim) {
+#if defined(SPATL_DEBUG_CHECKS)
+  for (const auto& u : updates) {
+    SPATL_DCHECK(u.values != nullptr);
+    SPATL_DCHECK(std::isfinite(u.weight) && u.weight >= 0.0);
+    if (u.mask == nullptr) {
+      SPATL_DCHECK(u.values->size() == dim);
+    } else {
+      SPATL_DCHECK(u.mask->size() == dim);
+      std::size_t owned = 0;
+      for (std::size_t j = 0; j < dim; ++j) owned += (*u.mask)[j] != 0;
+      SPATL_DCHECK(u.values->size() == owned);
+    }
+  }
+#else
+  (void)updates;
+  (void)dim;
+#endif
+}
+
 /// Weighted mean over a subset of the updates (all when `subset` is empty).
 /// Per-coordinate weight renormalization over the clients owning that
 /// coordinate; dense inputs with pre-normalized weights reduce to the
 /// classic axpy loop.
 AggregateOutcome weighted_mean(const std::vector<RobustUpdate>& updates,
                                std::size_t dim) {
+  dcheck_updates(updates, dim);
   AggregateOutcome out;
   init_outcome(out, dim);
   std::vector<double> sum(dim, 0.0);
@@ -84,6 +112,7 @@ class CoordinateMedianAggregator : public RobustAggregator {
   AggregateOutcome aggregate(const std::vector<RobustUpdate>& updates,
                              std::size_t dim,
                              const std::vector<float>*) const override {
+    dcheck_updates(updates, dim);
     AggregateOutcome out;
     init_outcome(out, dim);
     std::vector<Cursor> cur(updates.size());
@@ -121,6 +150,7 @@ class TrimmedMeanAggregator : public RobustAggregator {
   AggregateOutcome aggregate(const std::vector<RobustUpdate>& updates,
                              std::size_t dim,
                              const std::vector<float>*) const override {
+    dcheck_updates(updates, dim);
     AggregateOutcome out;
     init_outcome(out, dim);
     std::vector<Cursor> cur(updates.size());
@@ -164,6 +194,7 @@ class KrumAggregator : public RobustAggregator {
   AggregateOutcome aggregate(const std::vector<RobustUpdate>& updates,
                              std::size_t dim,
                              const std::vector<float>*) const override {
+    dcheck_updates(updates, dim);
     const std::size_t n = updates.size();
     if (n == 0) {
       AggregateOutcome out;
@@ -257,6 +288,8 @@ class NormClippedMeanAggregator : public RobustAggregator {
                              std::size_t dim,
                              const std::vector<float>* reference)
       const override {
+    dcheck_updates(updates, dim);
+    SPATL_DCHECK(reference == nullptr || reference->size() == dim);
     // Norm of each update's deviation from the reference (origin when no
     // reference is given), over the coordinates it transmitted.
     std::vector<double> norms(updates.size(), 0.0);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace spatl::nn {
@@ -16,7 +17,11 @@ BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
       beta_({channels}),
       gbeta_({channels}),
       running_mean_({channels}),
-      running_var_({channels}, 1.0f) {}
+      running_var_({channels}, 1.0f) {
+  SPATL_DCHECK(std::isfinite(momentum_) && momentum_ >= 0.0f &&
+               momentum_ <= 1.0f);
+  SPATL_DCHECK(std::isfinite(eps_) && eps_ > 0.0f);
+}
 
 void BatchNorm2d::init_params(common::Rng& /*rng*/) {
   gamma_.fill(1.0f);
@@ -101,6 +106,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   if (!cached_train_) {
     throw std::logic_error("BatchNorm2d::backward requires a train forward");
   }
+  SPATL_DCHECK_SHAPE(grad_output.shape(), cached_xhat_.shape());
   const std::size_t n = grad_output.dim(0);
   const std::size_t hw = grad_output.dim(2) * grad_output.dim(3);
   const std::size_t count = cached_count_;

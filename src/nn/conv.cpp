@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace spatl::nn {
@@ -107,6 +108,10 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  SPATL_DCHECK_SHAPE(grad_output.shape(),
+                     (tensor::Shape{cached_batch_, out_channels_,
+                                    cached_geom_.out_h(),
+                                    cached_geom_.out_w()}));
   Tensor grows;
   nchw_to_rows(grad_output, grows);  // (rows, out)
   // dW += dRows^T * cols

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace spatl::nn {
@@ -64,6 +65,9 @@ Tensor DepthwiseConv2d::forward(const Tensor& input, bool /*train*/) {
 }
 
 Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
+  SPATL_DCHECK(grad_output.rank() == 4 &&
+               grad_output.dim(0) == cached_input_.dim(0) &&
+               grad_output.dim(1) == channels_);
   const std::size_t n = cached_input_.dim(0);
   const std::size_t h = cached_input_.dim(2), w = cached_input_.dim(3);
   const std::size_t oh = grad_output.dim(2), ow = grad_output.dim(3);

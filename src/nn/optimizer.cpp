@@ -2,10 +2,14 @@
 
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace spatl::nn {
 
 Sgd::Sgd(std::vector<ParamView> params, SgdOptions opts)
     : params_(std::move(params)), opts_(opts) {
+  SPATL_DCHECK(std::isfinite(opts_.lr) && std::isfinite(opts_.momentum) &&
+               std::isfinite(opts_.weight_decay));
   velocity_.reserve(params_.size());
   for (const auto& p : params_) {
     velocity_.emplace_back(p.value->numel(), 0.0f);
@@ -35,6 +39,8 @@ void Sgd::zero_grad() {
 
 Adam::Adam(std::vector<ParamView> params, AdamOptions opts)
     : params_(std::move(params)), opts_(opts) {
+  SPATL_DCHECK(std::isfinite(opts_.lr) && opts_.beta1 >= 0.0 &&
+               opts_.beta1 < 1.0 && opts_.beta2 >= 0.0 && opts_.beta2 < 1.0);
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const auto& p : params_) {

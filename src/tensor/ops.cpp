@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace spatl::tensor {
@@ -24,6 +25,10 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  // No finiteness check here: the divergence guard deliberately runs these
+  // kernels on exploded weights to detect and roll back bad rounds. Aliasing
+  // the output with an input, however, is always a caller bug.
+  SPATL_DCHECK(pc != pa && pc != pb);
   common::parallel_for_ranges(
       0, m,
       [&](std::size_t row_lo, std::size_t row_hi) {
@@ -194,6 +199,9 @@ void col2im(const Tensor& columns, const Conv2dGeom& g, std::size_t batch,
 void softmax_rows(const Tensor& logits, Tensor& probs) {
   require(logits.rank() == 2, "softmax_rows: logits must be (N,C)");
   if (!probs.same_shape(logits)) probs = Tensor(logits.shape());
+  // Outputs may legitimately be non-finite when training has diverged (the
+  // divergence guard handles that); only in-place aliasing is forbidden.
+  SPATL_DCHECK(probs.data() != logits.data());
   const std::size_t n = logits.dim(0), c = logits.dim(1);
   const float* in = logits.data();
   float* out = probs.data();

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.hpp"
+
 namespace spatl::tensor {
 
 std::string shape_to_string(const Shape& shape) {
@@ -18,8 +20,10 @@ std::string shape_to_string(const Shape& shape) {
 }
 
 Tensor Tensor::randn(Shape shape, common::Rng& rng, float mean, float stddev) {
+  SPATL_DCHECK(std::isfinite(mean) && std::isfinite(stddev) && stddev >= 0.0f);
   Tensor t(std::move(shape));
   for (auto& v : t.data_) v = rng.normal_float(mean, stddev);
+  SPATL_DCHECK_FINITE(t.span());
   return t;
 }
 
@@ -84,6 +88,7 @@ Tensor& Tensor::operator+=(float s) {
 
 Tensor& Tensor::add_scaled(const Tensor& other, float alpha) {
   check_same_shape(other, "add_scaled");
+  SPATL_DCHECK(std::isfinite(alpha));
   for (std::size_t i = 0; i < data_.size(); ++i)
     data_[i] += alpha * other.data_[i];
   return *this;

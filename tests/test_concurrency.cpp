@@ -1,0 +1,260 @@
+// Concurrency stress tests for ThreadPool / parallel_for.
+//
+// Written to run under ThreadSanitizer (scripts/check.sh --thread): the
+// scenarios — concurrent submitters, nested parallel_for from worker
+// threads, exception propagation, shutdown ordering — are exactly where a
+// work-sharing pool hides races. Under the plain Release tier they still
+// verify the exactly-once chunk contract and the fixed-chunk geometry.
+//
+// spatl-lint: allow(raw-thread) — these tests deliberately hammer the pool
+// from raw std::thread callers to model concurrent algorithm layers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
+
+namespace spatl::common {
+namespace {
+
+TEST(ThreadPool, RunChunksExecutesEachChunkExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kChunks = 100;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.run_chunks(kChunks, [&](std::size_t c) { hits[c].fetch_add(1); });
+  for (std::size_t c = 0; c < kChunks; ++c) EXPECT_EQ(hits[c].load(), 1);
+}
+
+TEST(ThreadPool, ZeroSizePoolRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::size_t ran = 0;
+  bool on_caller = true;
+  pool.run_chunks(8, [&](std::size_t) {
+    ++ran;  // serial by contract, so unsynchronized access is fine
+    on_caller = on_caller && std::this_thread::get_id() == caller;
+  });
+  EXPECT_EQ(ran, 8u);
+  EXPECT_TRUE(on_caller);
+}
+
+TEST(ThreadPool, ZeroAndSingleChunkBatches) {
+  ThreadPool pool(2);
+  std::size_t ran = 0;
+  pool.run_chunks(0, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 0u);
+  pool.run_chunks(1, [&](std::size_t c) {
+    EXPECT_EQ(c, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(ParallelFor, EmptyAndInvertedRangeNeverInvoke) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for_ranges(9, 9, [&](std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeStaysSerialOnCaller) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> hits(100, 0);
+  bool on_caller = true;
+  parallel_for(
+      0, hits.size(),
+      [&](std::size_t i) {
+        ++hits[i];
+        on_caller = on_caller && std::this_thread::get_id() == caller;
+      },
+      /*grain=*/1000);
+  EXPECT_TRUE(on_caller);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnceWhenParallel) {
+  constexpr std::size_t kN = 50000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); },
+               /*grain=*/128);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, NestedCallFromWorkerThreads) {
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 10000;
+  std::vector<std::atomic<std::size_t>> sums(kOuter);
+  parallel_for(
+      0, kOuter,
+      [&](std::size_t o) {
+        parallel_for(
+            0, kInner, [&](std::size_t i) { sums[o].fetch_add(i + 1); },
+            /*grain=*/64);
+      },
+      /*grain=*/1);
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(sums[o].load(), kInner * (kInner + 1) / 2);
+  }
+}
+
+TEST(ThreadPool, ReentrantRunChunksOnSamePool) {
+  ThreadPool pool(2);
+  std::atomic<int> executions{0};
+  pool.run_chunks(4, [&](std::size_t) {
+    pool.run_chunks(4, [&](std::size_t) { executions.fetch_add(1); });
+  });
+  EXPECT_EQ(executions.load(), 16);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersShareOnePool) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCallers = 8;
+  constexpr std::size_t kChunks = 64;
+  std::vector<std::atomic<std::size_t>> totals(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int iter = 0; iter < 20; ++iter) {
+        pool.run_chunks(kChunks,
+                        [&](std::size_t c) { totals[t].fetch_add(c + 1); });
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(totals[t].load(), 20 * kChunks * (kChunks + 1) / 2);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_chunks(16,
+                      [&](std::size_t c) {
+                        if (c == 7) throw std::runtime_error("chunk 7 fails");
+                      }),
+      std::runtime_error);
+  // Every chunk of a failed batch still completes, and the pool stays usable.
+  std::atomic<int> after{0};
+  pool.run_chunks(16, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionFromNestedParallelForReachesTopCaller) {
+  ThreadPool pool(2);
+  ThreadPool::ScopedOverride scope(pool);
+  EXPECT_THROW(
+      parallel_for(
+          0, 8,
+          [&](std::size_t o) {
+            parallel_for(
+                0, 1000,
+                [&](std::size_t i) {
+                  if (o == 3 && i == 500) {
+                    throw std::logic_error("inner failure");
+                  }
+                },
+                /*grain=*/64);
+          },
+          /*grain=*/1),
+      std::logic_error);
+}
+
+TEST(ThreadPool, ShutdownAfterWorkAndWhileIdle) {
+  for (int iter = 0; iter < 20; ++iter) {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    pool.run_chunks(10, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 10);
+    // Destructor joins immediately after the batch completes.
+  }
+  for (int iter = 0; iter < 20; ++iter) {
+    ThreadPool idle(2);  // construct + destruct with no work at all
+  }
+}
+
+TEST(ThreadPool, ScopedOverrideRedirectsCurrentAndNests) {
+  ThreadPool outer_pool(2);
+  ASSERT_NE(&ThreadPool::current(), &outer_pool);
+  {
+    ThreadPool::ScopedOverride outer(outer_pool);
+    EXPECT_EQ(&ThreadPool::current(), &outer_pool);
+    {
+      ThreadPool inner_pool(1);
+      ThreadPool::ScopedOverride inner(inner_pool);
+      EXPECT_EQ(&ThreadPool::current(), &inner_pool);
+    }
+    EXPECT_EQ(&ThreadPool::current(), &outer_pool);
+  }
+  EXPECT_EQ(&ThreadPool::current(), &ThreadPool::global());
+}
+
+// The fixed-chunk contract behind thread-count determinism: the (lo, hi)
+// pairs handed to parallel_for_ranges are a pure function of the range and
+// grain, independent of pool size.
+TEST(ParallelFor, ChunkGeometryIndependentOfPoolSize) {
+  const auto collect = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    ThreadPool::ScopedOverride scope(pool);
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    parallel_for_ranges(
+        3, 100003,
+        [&](std::size_t lo, std::size_t hi) {
+          std::lock_guard<std::mutex> lock(mu);
+          ranges.emplace_back(lo, hi);
+        },
+        /*grain=*/1024);
+    std::sort(ranges.begin(), ranges.end());
+    return ranges;
+  };
+  const auto one = collect(1);
+  const auto two = collect(2);
+  const auto eight = collect(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  ASSERT_FALSE(one.empty());
+  // Contiguous cover of [3, 100003).
+  EXPECT_EQ(one.front().first, 3u);
+  EXPECT_EQ(one.back().second, 100003u);
+  for (std::size_t i = 1; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].first, one[i - 1].second);
+  }
+}
+
+TEST(ThreadPool, MixedStressManySmallBatches) {
+  ThreadPool pool(4);
+  ThreadPool::ScopedOverride scope(pool);
+  std::vector<std::thread> callers;
+  std::atomic<std::size_t> grand_total{0};
+  for (std::size_t t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      for (std::size_t iter = 0; iter < 50; ++iter) {
+        const std::size_t n = 100 + 37 * t + iter;
+        std::atomic<std::size_t> local{0};
+        parallel_for(0, n, [&](std::size_t) { local.fetch_add(1); },
+                     /*grain=*/8);
+        grand_total.fetch_add(local.load() == n ? 1 : 0);
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(grand_total.load(), 4u * 50u);
+}
+
+}  // namespace
+}  // namespace spatl::common

@@ -7,7 +7,7 @@
 //   info     print a model's structure, parameter and FLOPs budget
 //
 // Examples:
-//   spatl train --algo spatl --arch resnet20 --clients 10 --rounds 20 \
+//   spatl train --algo spatl --arch resnet20 --clients 10 --rounds 20
 //         --beta 0.5 --out run.ckpt
 //   spatl evaluate --ckpt run.ckpt --arch resnet20
 //   spatl prune --arch resnet20 --budget 0.6

@@ -1,0 +1,316 @@
+// spatl_lint — repo-invariant checker for the SPATL source tree.
+//
+// Scans src/, tools/, tests/, bench/, examples/ for constructs that break
+// the repository's determinism and resource-safety contracts:
+//
+//   banned-random   rand()/srand()/std::random_device/time() — all
+//                   randomness must flow through common::Rng seeds so runs
+//                   are replayable.
+//   chrono-now      argless <chrono> clock ::now() outside
+//                   src/common/timer.hpp — wall-clock reads hidden in
+//                   compute paths break bit-reproducible simulation.
+//   fl-unordered    std::unordered_map/std::unordered_set inside src/fl —
+//                   hash-order iteration reorders float aggregation.
+//   naked-new       raw new/delete — ownership goes through containers and
+//                   smart pointers ('= delete' declarations are fine).
+//   pragma-once     every .hpp must start its include guard with
+//                   #pragma once.
+//   raw-thread      std::thread/std::jthread outside
+//                   src/common/thread_pool.* — all parallelism goes through
+//                   the pool so determinism and shutdown stay centralized.
+//
+// A file opts out of one rule with a comment of the form
+//   spatl-lint: allow(<rule>)        (inside any // or /* */ comment)
+// which documents the exception in place. Comment and string literal
+// contents are excluded from rule matching, so prose never trips a rule.
+//
+// Usage: spatl_lint [repo-root]   (exit 0 clean, 1 violations, 2 error)
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;   // repo-relative path
+  std::size_t line;   // 1-based
+  std::string rule;
+  std::string message;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Replace comment and string/char literal contents with spaces, preserving
+/// newlines so line numbers survive. Escape sequences inside literals are
+/// honoured.
+std::string strip_comments_and_strings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += '\'';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Token occurrence: `token` at position p with no identifier character
+/// immediately before or after (tokens may themselves end in '(').
+bool token_at(const std::string& text, std::size_t p,
+              const std::string& token) {
+  if (p > 0 && ident_char(text[p - 1])) return false;
+  const std::size_t end = p + token.size();
+  if (!token.empty() && ident_char(token.back()) && end < text.size() &&
+      ident_char(text[end])) {
+    return false;
+  }
+  return true;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return std::size_t(std::count(text.begin(), text.begin() + long(pos), '\n')) +
+         1;
+}
+
+/// All token occurrences of `token` in stripped `text`.
+std::vector<std::size_t> find_token(const std::string& text,
+                                    const std::string& token) {
+  std::vector<std::size_t> hits;
+  for (std::size_t p = text.find(token); p != std::string::npos;
+       p = text.find(token, p + 1)) {
+    if (token_at(text, p, token)) hits.push_back(p);
+  }
+  return hits;
+}
+
+/// Rules a file opted out of via allow comments (parsed from the raw text,
+/// since the directive lives inside a comment).
+std::set<std::string> allowed_rules(const std::string& raw) {
+  std::set<std::string> rules;
+  const std::string directive = "spatl-lint: allow(";
+  for (std::size_t p = raw.find(directive); p != std::string::npos;
+       p = raw.find(directive, p + 1)) {
+    std::size_t q = p + directive.size();
+    std::string name;
+    while (q < raw.size() &&
+           (ident_char(raw[q]) || raw[q] == '-' || raw[q] == ',')) {
+      name += raw[q++];
+    }
+    if (q < raw.size() && raw[q] == ')') {
+      std::stringstream ss(name);
+      std::string one;
+      while (std::getline(ss, one, ',')) {
+        if (!one.empty()) rules.insert(one);
+      }
+    }
+  }
+  return rules;
+}
+
+struct FileReport {
+  std::string rel;
+  std::string raw;
+  std::string code;  // comments/strings blanked
+  std::set<std::string> allowed;
+  std::vector<Violation>* out;
+
+  void add(const std::string& rule, std::size_t pos,
+           const std::string& message) {
+    if (allowed.count(rule)) return;
+    out->push_back({rel, line_of(code, pos), rule, message});
+  }
+};
+
+void check_banned_random(FileReport& f) {
+  for (const char* token : {"rand(", "srand(", "time("}) {
+    for (std::size_t p : find_token(f.code, token)) {
+      f.add("banned-random", p,
+            std::string(token) +
+                ") call — use a seeded common::Rng so runs replay");
+    }
+  }
+  for (std::size_t p : find_token(f.code, "random_device")) {
+    f.add("banned-random", p,
+          "std::random_device — nondeterministic entropy source");
+  }
+}
+
+void check_chrono_now(FileReport& f) {
+  if (f.rel == "src/common/timer.hpp") return;
+  for (std::size_t p : find_token(f.code, "now(")) {
+    if (p >= 2 && f.code[p - 1] == ':' && f.code[p - 2] == ':') {
+      f.add("chrono-now", p,
+            "clock ::now() outside common/timer.hpp — wall-clock reads "
+            "break reproducibility");
+    }
+  }
+}
+
+void check_fl_unordered(FileReport& f) {
+  if (f.rel.rfind("src/fl/", 0) != 0) return;
+  for (const char* token : {"unordered_map", "unordered_set"}) {
+    for (std::size_t p : find_token(f.code, token)) {
+      f.add("fl-unordered", p,
+            std::string("std::") + token +
+                " in an aggregation path — hash-order iteration reorders "
+                "float reductions; use std::map/std::vector");
+    }
+  }
+}
+
+void check_naked_new(FileReport& f) {
+  for (std::size_t p : find_token(f.code, "new")) {
+    f.add("naked-new", p, "raw new — use containers or std::make_unique");
+  }
+  for (std::size_t p : find_token(f.code, "delete")) {
+    std::size_t q = p;
+    while (q > 0 && std::isspace(static_cast<unsigned char>(f.code[q - 1]))) {
+      --q;
+    }
+    if (q > 0 && f.code[q - 1] == '=') continue;  // deleted member function
+    f.add("naked-new", p, "raw delete — ownership must be RAII-managed");
+  }
+}
+
+void check_pragma_once(FileReport& f) {
+  if (f.rel.size() < 4 || f.rel.substr(f.rel.size() - 4) != ".hpp") return;
+  if (f.raw.find("#pragma once") == std::string::npos) {
+    f.add("pragma-once", 0, "header is missing #pragma once");
+  }
+}
+
+void check_raw_thread(FileReport& f) {
+  if (f.rel == "src/common/thread_pool.hpp" ||
+      f.rel == "src/common/thread_pool.cpp") {
+    return;
+  }
+  for (const char* token : {"thread", "jthread"}) {
+    for (std::size_t p : find_token(f.code, token)) {
+      if (p >= 5 && f.code.compare(p - 5, 5, "std::") == 0) {
+        f.add("raw-thread", p,
+              std::string("std::") + token +
+                  " outside common/thread_pool — route parallelism through "
+                  "ThreadPool/parallel_for");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "spatl_lint: not a directory: %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "tools", "tests", "bench", "examples"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  std::size_t allowed_files = 0;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "spatl_lint: cannot read %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    FileReport f;
+    f.rel = fs::relative(path, root).generic_string();
+    f.raw = buf.str();
+    f.code = strip_comments_and_strings(f.raw);
+    f.allowed = allowed_rules(f.raw);
+    if (!f.allowed.empty()) ++allowed_files;
+    f.out = &violations;
+    check_banned_random(f);
+    check_chrono_now(f);
+    check_fl_unordered(f);
+    check_naked_new(f);
+    check_pragma_once(f);
+    check_raw_thread(f);
+  }
+
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  std::printf("spatl-lint: %zu file(s), %zu violation(s), %zu with allow "
+              "exceptions\n",
+              files.size(), violations.size(), allowed_files);
+  return violations.empty() ? 0 : 1;
+}
