@@ -4,6 +4,9 @@
 // deployable on edge devices — plus the tensor kernels underlying it.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench_util.hpp"
 #include "graph/compute_graph.hpp"
 #include "nn/module.hpp"
 #include "prune/saliency.hpp"
@@ -87,4 +90,27 @@ BENCHMARK(BM_EncoderForward);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN with the shared telemetry scope: the
+// --trace-out/--metrics-out/--telemetry-every flags are consumed before
+// google-benchmark sees argv, so its unrecognized-argument check still runs.
+int main(int argc, char** argv) {
+  spatl::bench::TelemetryScope telemetry(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" || arg == "--metrics-out" ||
+        arg == "--telemetry-every") {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = int(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

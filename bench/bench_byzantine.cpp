@@ -41,7 +41,8 @@ std::vector<std::uint8_t> byzantine_cohort(std::size_t num_clients) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  TelemetryScope telemetry(argc, argv);
   common::set_log_level(common::LogLevel::kWarn);
   const BenchScale scale = bench_scale();
 

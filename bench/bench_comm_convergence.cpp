@@ -26,7 +26,8 @@ std::size_t converge_round(const fl::RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  TelemetryScope telemetry(argc, argv);
   common::set_log_level(common::LogLevel::kWarn);
   const BenchScale scale = bench_scale();
 

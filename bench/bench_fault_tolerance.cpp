@@ -27,7 +27,8 @@ struct FaultSetting {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  TelemetryScope telemetry(argc, argv);
   common::set_log_level(common::LogLevel::kWarn);
   const BenchScale scale = bench_scale();
 

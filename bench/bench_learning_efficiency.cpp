@@ -18,6 +18,7 @@ using namespace spatl;
 using namespace spatl::bench;
 
 int main(int argc, char** argv) {
+  TelemetryScope telemetry(argc, argv);
   const bool full = argc > 1 && std::string(argv[1]) == "--full";
   common::set_log_level(common::LogLevel::kWarn);
   const BenchScale scale = bench_scale();

@@ -19,7 +19,8 @@
 using namespace spatl;
 using namespace spatl::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  TelemetryScope telemetry(argc, argv);
   common::set_log_level(common::LogLevel::kWarn);
   const BenchScale scale = bench_scale();
 

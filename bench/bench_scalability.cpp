@@ -15,7 +15,8 @@
 using namespace spatl;
 using namespace spatl::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  TelemetryScope telemetry(argc, argv);
   common::set_log_level(common::LogLevel::kWarn);
   BenchScale scale = bench_scale();
   scale.samples_per_client = 40;  // scale client count, not shard size

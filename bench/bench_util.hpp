@@ -21,8 +21,78 @@
 #include "data/synthetic.hpp"
 #include "fl/runner.hpp"
 #include "models/split_model.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spatl::bench {
+
+// --- shared telemetry sink -------------------------------------------------
+//
+// Every bench binary constructs one TelemetryScope from argv; run_algorithm
+// attaches the process-wide sink to each federated run. Flags (all
+// optional, telemetry is off without them):
+//   --trace-out FILE        enable the tracer, write Chrome trace JSON on exit
+//   --metrics-out FILE      per-round JSONL telemetry + final registry record
+//   --telemetry-every N     emit every Nth round only (default 1)
+
+inline obs::JsonlWriter* g_telemetry_sink = nullptr;
+inline std::size_t g_telemetry_every = 1;
+
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, char** argv) {
+    std::string metrics_path;
+    for (int i = 1; i + 1 < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace-out") {
+        trace_path_ = argv[++i];
+      } else if (arg == "--metrics-out") {
+        metrics_path = argv[++i];
+      } else if (arg == "--telemetry-every") {
+        g_telemetry_every = std::max(1L, std::atol(argv[++i]));
+      }
+    }
+    if (!trace_path_.empty()) obs::Tracer::instance().set_enabled(true);
+    if (!metrics_path.empty()) {
+      writer_ = std::make_unique<obs::JsonlWriter>(metrics_path);
+      g_telemetry_sink = writer_.get();
+    }
+  }
+
+  ~TelemetryScope() {
+    // Exporters must never take a bench down: telemetry is observation.
+    try {
+      if (writer_ != nullptr) {
+        obs::JsonObject rec;
+        rec.add("type", "metrics")
+            .add_raw("metrics",
+                     obs::metrics_object(
+                         obs::MetricsRegistry::instance().snapshot())
+                         .str());
+        writer_->write(rec);
+        common::log_info("telemetry: ", writer_->lines(), " records -> ",
+                         writer_->path());
+        g_telemetry_sink = nullptr;
+        writer_.reset();
+      }
+      if (!trace_path_.empty()) {
+        obs::write_chrome_trace(obs::Tracer::instance(), trace_path_);
+        common::log_info("trace: ", trace_path_);
+        obs::Tracer::instance().set_enabled(false);
+      }
+    } catch (const std::exception& e) {
+      common::log_error("telemetry export failed: ", e.what());
+    }
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  std::unique_ptr<obs::JsonlWriter> writer_;
+  std::string trace_path_;
+};
 
 struct BenchScale {
   std::size_t samples_per_client = 80;
@@ -192,13 +262,15 @@ inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
   ro.target_accuracy = spec.target_accuracy;
   ro.faults = spec.faults;
   ro.resilience = spec.resilience;
+  ro.telemetry = g_telemetry_sink;
+  ro.telemetry_every = g_telemetry_every;
 
   AlgoRun run;
   run.algorithm = algo;
   run.result = fl::run_federated(*algorithm, ro);
-  run.uplink_bytes = algorithm->ledger().uplink_bytes();
-  run.downlink_bytes = algorithm->ledger().downlink_bytes();
-  run.retransmitted_bytes = algorithm->ledger().retransmitted_bytes();
+  run.uplink_bytes = run.result.comm.uplink;
+  run.downlink_bytes = run.result.comm.downlink;
+  run.retransmitted_bytes = run.result.comm.retransmitted;
   const double participants =
       std::max(1.0, std::ceil(spec.sample_ratio * double(spec.num_clients)));
   const double effective_rounds =

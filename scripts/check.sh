@@ -11,8 +11,9 @@
 #
 #   scripts/check.sh --thread [build-dir]  race tier: ThreadSanitizer build
 #       (TSan cannot be combined with ASan, so it gets its own tree) running
-#       the full suite, including tests/test_concurrency.cpp stress tests.
-#       Default build dir: build-tsan.
+#       the full suite, including tests/test_concurrency.cpp stress tests and
+#       tests/test_observability.cpp's concurrent metrics-registry merge
+#       probe. Default build dir: build-tsan.
 #
 #   scripts/check.sh --lint [build-dir]    static tier: spatl_lint repo
 #       invariants (always) + clang-tidy over src/ against the exported

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hpp"
+
 namespace spatl::common {
 
 namespace {
@@ -10,6 +12,27 @@ namespace {
 // worker threads running nested parallel_for observe the override installed
 // by the test thread.
 std::atomic<ThreadPool*> g_pool_override{nullptr};
+
+// Pool utilization telemetry. Handles are registered once (magic static);
+// every update afterwards is a relaxed atomic on the calling thread's
+// shard, so instrumentation adds no lock to the work loop.
+struct PoolMetrics {
+  obs::Counter batches =
+      obs::MetricsRegistry::instance().counter("threadpool.batches");
+  obs::Counter chunks =
+      obs::MetricsRegistry::instance().counter("threadpool.chunks");
+  obs::Gauge queue_depth =
+      obs::MetricsRegistry::instance().gauge("threadpool.queue_depth");
+  obs::Gauge busy_workers =
+      obs::MetricsRegistry::instance().gauge("threadpool.busy_workers");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+std::atomic<std::int64_t> g_busy{0};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -32,12 +55,18 @@ void ThreadPool::execute_chunk(std::unique_lock<std::mutex>& lock,
                                Batch& batch, std::size_t chunk,
                                const std::function<void(std::size_t)>& fn) {
   lock.unlock();
+  PoolMetrics& metrics = pool_metrics();
+  metrics.chunks.increment();
+  metrics.busy_workers.set(
+      double(g_busy.fetch_add(1, std::memory_order_relaxed) + 1));
   std::exception_ptr err;
   try {
     fn(chunk);
   } catch (...) {
     err = std::current_exception();
   }
+  metrics.busy_workers.set(
+      double(g_busy.fetch_sub(1, std::memory_order_relaxed) - 1));
   lock.lock();
   if (err && !batch.error) batch.error = err;
   if (++batch.done == batch.total) done_cv_.notify_all();
@@ -50,7 +79,10 @@ void ThreadPool::worker_loop() {
     if (stop_) return;
     Batch* batch = pending_.front();
     const std::size_t chunk = batch->next++;
-    if (batch->next >= batch->total) pending_.pop_front();
+    if (batch->next >= batch->total) {
+      pending_.pop_front();
+      pool_metrics().queue_depth.set(double(pending_.size()));
+    }
     execute_chunk(lock, *batch, chunk, *batch->fn);
   }
 }
@@ -58,8 +90,13 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_chunks(std::size_t num_chunks,
                             const std::function<void(std::size_t)>& fn) {
   if (num_chunks == 0) return;
+  PoolMetrics& metrics = pool_metrics();
+  metrics.batches.increment();
   if (workers_.empty() || num_chunks == 1) {
-    for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+    for (std::size_t i = 0; i < num_chunks; ++i) {
+      metrics.chunks.increment();
+      fn(i);
+    }
     return;
   }
   Batch batch;
@@ -68,6 +105,7 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.push_back(&batch);
+    metrics.queue_depth.set(double(pending_.size()));
   }
   work_cv_.notify_all();
   // The submitter drains its own batch: it makes progress without depending
@@ -79,6 +117,7 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
     const std::size_t chunk = batch.next++;
     if (batch.next >= batch.total) {
       pending_.erase(std::find(pending_.begin(), pending_.end(), &batch));
+      metrics.queue_depth.set(double(pending_.size()));
     }
     execute_chunk(lock, batch, chunk, fn);
   }

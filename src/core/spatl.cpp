@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "data/loader.hpp"
 #include "fl/flat_utils.hpp"
+#include "obs/trace.hpp"
 #include "prune/flops.hpp"
 #include "prune/pipelines.hpp"
 
@@ -193,10 +194,14 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
     }
     common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)) ^
                            (round_ * 0x51ULL));
-    const auto stats =
-        data::train_supervised(state.model, env_.client(i).train,
-                               config_.local, client_rng,
-                               state.model.all_params(), hook);
+    data::TrainStats stats;
+    {
+      SPATL_TRACE_SPAN("fl/train");
+      stats =
+          data::train_supervised(state.model, env_.client(i).train,
+                                 config_.local, client_rng,
+                                 state.model.all_params(), hook);
+    }
     ++state.participations;
 
     // Control-variate update (eq. 10, option II).
@@ -221,6 +226,7 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
     // encoder and picks the sparsity policy; the gates realize it.
     std::size_t selected_indices = 0;
     if (options_.salient_selection) {
+      SPATL_TRACE_SPAN("spatl/select");
       rl::PruningEnvConfig env_cfg;
       env_cfg.flops_budget = options_.flops_budget;
       env_cfg.criterion = options_.selection_criterion;
@@ -322,6 +328,7 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
     }
   }
   if (!quorum_met(accepted_count)) return;
+  SPATL_TRACE_SPAN("fl/aggregate");
 
   if (robust) {
     // Robust masked aggregation: per-coordinate statistics run over the
@@ -389,6 +396,7 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
 }
 
 fl::EvalSummary SpatlAlgorithm::evaluate_clients() {
+  SPATL_TRACE_SPAN("fl/eval");
   fl::EvalSummary summary;
   for (std::size_t i = 0; i < env_.num_clients(); ++i) {
     SpatlClientState& state = client_state(i);

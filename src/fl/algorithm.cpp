@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "data/loader.hpp"
 #include "fl/flat_utils.hpp"
+#include "obs/trace.hpp"
 
 namespace spatl::fl {
 
@@ -60,6 +61,7 @@ void FederatedAlgorithm::begin_round(std::size_t round, RoundStats admission) {
 FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
     std::size_t client, std::vector<float>& payload,
     std::size_t uplink_floats, const std::vector<float>* reference) {
+  SPATL_TRACE_SPAN("fl/uplink");
   Delivery d;
   ledger_.add_uplink_floats(uplink_floats);
   if (fault_ != nullptr && fault_->enabled()) {
@@ -144,6 +146,7 @@ bool FederatedAlgorithm::quorum_met(std::size_t accepted_count) {
 }
 
 EvalSummary FederatedAlgorithm::evaluate_clients() {
+  SPATL_TRACE_SPAN("fl/eval");
   EvalSummary summary;
   load_global_into_worker();
   for (std::size_t i = 0; i < env_.num_clients(); ++i) {
@@ -236,8 +239,11 @@ void FedAvg::run_round(const std::vector<std::size_t>& selected) {
     load_global_into_worker();
     ledger_.add_downlink_floats(w_global.size());
     common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
-    data::train_supervised(worker_, env_.client(i).train, config_.local,
-                           client_rng, worker_.all_params());
+    {
+      SPATL_TRACE_SPAN("fl/train");
+      data::train_supervised(worker_, env_.client(i).train, config_.local,
+                             client_rng, worker_.all_params());
+    }
     PendingUpdate up;
     up.client = i;
     up.flat = nn::flatten_values(worker_.all_params());
@@ -248,6 +254,7 @@ void FedAvg::run_round(const std::vector<std::size_t>& selected) {
     accepted.push_back(std::move(up));
   }
   if (!quorum_met(accepted.size())) return;
+  SPATL_TRACE_SPAN("fl/aggregate");
 
   const auto weights = accepted_weights(env_, accepted);
   const std::size_t bn_dim = flatten_bn_stats(global_).size();
@@ -291,8 +298,11 @@ void FedProx::run_round(const std::vector<std::size_t>& selected) {
     load_global_into_worker();
     ledger_.add_downlink_floats(w_global.size());
     common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
-    data::train_supervised(worker_, env_.client(i).train, config_.local,
-                           client_rng, worker_.all_params(), hook);
+    {
+      SPATL_TRACE_SPAN("fl/train");
+      data::train_supervised(worker_, env_.client(i).train, config_.local,
+                             client_rng, worker_.all_params(), hook);
+    }
     PendingUpdate up;
     up.client = i;
     up.flat = nn::flatten_values(worker_.all_params());
@@ -303,6 +313,7 @@ void FedProx::run_round(const std::vector<std::size_t>& selected) {
     accepted.push_back(std::move(up));
   }
   if (!quorum_met(accepted.size())) return;
+  SPATL_TRACE_SPAN("fl/aggregate");
 
   const auto weights = accepted_weights(env_, accepted);
   const std::size_t bn_dim = flatten_bn_stats(global_).size();
@@ -346,9 +357,13 @@ void FedNova::run_round(const std::vector<std::size_t>& selected) {
     load_global_into_worker();
     ledger_.add_downlink_floats(w_global.size());
     common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
-    const auto stats =
-        data::train_supervised(worker_, env_.client(i).train, config_.local,
-                               client_rng, worker_.all_params());
+    data::TrainStats stats;
+    {
+      SPATL_TRACE_SPAN("fl/train");
+      stats =
+          data::train_supervised(worker_, env_.client(i).train, config_.local,
+                                 client_rng, worker_.all_params());
+    }
     PendingUpdate up;
     up.client = i;
     up.tau = double(std::max<std::size_t>(1, stats.steps));
@@ -363,6 +378,7 @@ void FedNova::run_round(const std::vector<std::size_t>& selected) {
     accepted.push_back(std::move(up));
   }
   if (!quorum_met(accepted.size())) return;
+  SPATL_TRACE_SPAN("fl/aggregate");
 
   const auto weights = accepted_weights(env_, accepted);
   if (robust_active()) {
@@ -446,9 +462,13 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
       correction[j] = server_c_[j] - c_i[j];
     }
     common::Rng client_rng(config_.seed ^ (0xC11E47ULL * (i + 1)));
-    const auto stats = data::train_supervised(
-        worker_, env_.client(i).train, config_.local, client_rng,
-        worker_.all_params(), make_correction_hook(std::move(correction)));
+    data::TrainStats stats;
+    {
+      SPATL_TRACE_SPAN("fl/train");
+      stats = data::train_supervised(
+          worker_, env_.client(i).train, config_.local, client_rng,
+          worker_.all_params(), make_correction_hook(std::move(correction)));
+    }
     // Effective displacement per unit gradient: momentum-SGD moves
     // ~lr/(1-m) per step at steady state, so the variate estimate must be
     // scaled accordingly or it overshoots by 1/(1-m) and diverges.
@@ -470,6 +490,7 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
     accepted.push_back(std::move(up));
   }
   if (!quorum_met(accepted.size())) return;
+  SPATL_TRACE_SPAN("fl/aggregate");
 
   if (robust_active()) {
     // Robustify both server aggregates. The displacement dw is what an

@@ -11,6 +11,24 @@
 
 namespace spatl::fl {
 
+/// Point-in-time copy of the ledger counters. Cheap (three doubles), so the
+/// per-round telemetry exporter takes one before and one after each round
+/// and reports the delta instead of re-walking cumulative totals.
+struct CommSnapshot {
+  double uplink = 0.0;
+  double downlink = 0.0;
+  double retransmitted = 0.0;  // included in uplink
+
+  double total() const { return uplink + downlink; }
+
+  /// Counter deltas accumulated since `earlier` (monotone counters, so a
+  /// plain subtraction).
+  CommSnapshot since(const CommSnapshot& earlier) const {
+    return {uplink - earlier.uplink, downlink - earlier.downlink,
+            retransmitted - earlier.retransmitted};
+  }
+};
+
 class CommLedger {
  public:
   void add_uplink_floats(std::size_t count) { up_ += 4.0 * double(count); }
@@ -37,6 +55,8 @@ class CommLedger {
   double total_bytes() const { return up_ + down_; }
   double retransmitted_bytes() const { return retransmit_; }
 
+  CommSnapshot snapshot() const { return {up_, down_, retransmit_}; }
+
   void reset() { up_ = down_ = retransmit_ = 0.0; }
 
   /// Checkpoint restore: overwrite the counters with previously-captured
@@ -45,6 +65,9 @@ class CommLedger {
     up_ = uplink;
     down_ = downlink;
     retransmit_ = retransmitted;
+  }
+  void restore(const CommSnapshot& snap) {
+    restore(snap.uplink, snap.downlink, snap.retransmitted);
   }
 
  private:

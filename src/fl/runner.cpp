@@ -5,10 +5,22 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace spatl::fl {
 
 namespace {
+
+std::string ids_array(const std::vector<std::size_t>& ids) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  out += ']';
+  return out;
+}
 
 void accumulate(RunResult& result, const RoundStats& stats) {
   result.total_selected += stats.selected;
@@ -111,165 +123,243 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
     prev_loss = series[2];
   }
 
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const std::size_t telemetry_stride =
+      std::max<std::size_t>(1, opts.telemetry_every);
+
   for (std::size_t round = start_round; round <= opts.rounds; ++round) {
-    std::vector<std::size_t> selected;
-    if (opts.fault_aware_sampling) {
-      // Selection weight shrinks with the failure EMA but never below the
-      // floor: flaky clients are down-weighted, not starved.
-      std::vector<double> weights(num_clients, 1.0);
-      for (std::size_t i = 0; i < num_clients; ++i) {
-        weights[i] =
-            std::max(opts.fault_sampling_floor, 1.0 - fail_ema[i]);
-      }
-      selected =
-          weighted_sample_without_replacement(sampler, weights, per_round);
-    } else {
-      selected = sampler.sample_without_replacement(num_clients, per_round);
+    const bool telemetry_round =
+        opts.telemetry != nullptr &&
+        (round % telemetry_stride == 0 || round == opts.rounds);
+    CommSnapshot comm_start;
+    std::uint64_t trace_start = 0;
+    if (telemetry_round) {
+      comm_start = algo.ledger().snapshot();
+      trace_start = tracer.cursor();
     }
 
-    // Admission: drop clients unavailable this round, flag stragglers.
-    RoundStats admission;
-    admission.selected = selected.size();
-    std::vector<std::size_t> active;
-    std::vector<std::size_t> dropped_ids;
-    if (faults && faults->enabled()) {
-      active.reserve(selected.size());
-      for (const std::size_t i : selected) {
-        const ClientFault f = faults->assess(round, i);
-        if (f.fate == ClientFate::kUnavailable) {
-          ++admission.dropped;
-          dropped_ids.push_back(i);
-          continue;
-        }
-        if (f.fate == ClientFate::kStraggler) ++admission.stragglers;
-        active.push_back(i);
-      }
-    } else {
-      active = selected;
-    }
+    RoundStats stats;
+    std::optional<EvalSummary> round_eval;
+    bool stop = false;
+    {
+      // Scoped so the round span completes before phase attribution reads
+      // the tracer below.
+      SPATL_TRACE_SPAN("fl/round");
 
-    RoundStats stats = admission;
-    std::optional<EvalSummary> guard_eval;
-    if (active.size() < quorum) {
-      // Not enough live participants to even start: skip the round and
-      // leave the global model untouched.
-      stats.skipped = true;
-      common::log_debug(algo.name(), " round ", round,
-                        " skipped below quorum (", active.size(), "/",
-                        quorum, ")");
-    } else {
-      // Pre-round snapshot for the divergence guard: algorithm state plus
-      // ledger counters, so a rolled-back round leaves no trace (bytes are
-      // metered once, by the re-run).
-      RunCheckpoint snapshot;
-      double snap_up = 0.0, snap_down = 0.0, snap_re = 0.0;
-      if (guard) {
-        algo.save_state(snapshot);
-        snap_up = algo.ledger().uplink_bytes();
-        snap_down = algo.ledger().downlink_bytes();
-        snap_re = algo.ledger().retransmitted_bytes();
-      }
-      if (defended) algo.begin_round(round, admission);
-      algo.run_round(active);
-      if (defended) stats = algo.round_stats();
-      if (guard) {
-        EvalSummary eval = algo.evaluate_clients();
-        const bool exploded =
-            !std::isfinite(eval.avg_loss) ||
-            (std::isfinite(prev_loss) && prev_loss > 0.0 &&
-             eval.avg_loss > opts.divergence_factor * prev_loss);
-        if (exploded) {
-          common::log_debug(algo.name(), " round ", round,
-                            " diverged (loss ", eval.avg_loss,
-                            "), rolling back and re-aggregating with ",
-                            aggregator_kind_name(opts.divergence_fallback));
-          algo.load_state(snapshot);
-          algo.ledger().restore(snap_up, snap_down, snap_re);
-          ResilienceConfig fallback = resilience;
-          fallback.aggregator = opts.divergence_fallback;
-          algo.set_fault_injection(faults ? &*faults : nullptr, fallback);
-          algo.begin_round(round, admission);
-          algo.run_round(active);
-          stats = algo.round_stats();
-          stats.rolled_back = true;
-          if (defended) {
-            algo.set_fault_injection(faults ? &*faults : nullptr,
-                                     resilience);
-          } else {
-            algo.clear_fault_injection();
+      std::vector<std::size_t> selected;
+      {
+        SPATL_TRACE_SPAN("fl/sample");
+        if (opts.fault_aware_sampling) {
+          // Selection weight shrinks with the failure EMA but never below
+          // the floor: flaky clients are down-weighted, not starved.
+          std::vector<double> weights(num_clients, 1.0);
+          for (std::size_t i = 0; i < num_clients; ++i) {
+            weights[i] =
+                std::max(opts.fault_sampling_floor, 1.0 - fail_ema[i]);
           }
-          eval = algo.evaluate_clients();
+          selected =
+              weighted_sample_without_replacement(sampler, weights, per_round);
+        } else {
+          selected =
+              sampler.sample_without_replacement(num_clients, per_round);
         }
-        prev_loss = eval.avg_loss;
-        guard_eval = eval;
+      }
+
+      // Admission: drop clients unavailable this round, flag stragglers.
+      RoundStats admission;
+      admission.selected = selected.size();
+      std::vector<std::size_t> active;
+      std::vector<std::size_t> dropped_ids;
+      if (faults && faults->enabled()) {
+        active.reserve(selected.size());
+        for (const std::size_t i : selected) {
+          const ClientFault f = faults->assess(round, i);
+          if (f.fate == ClientFate::kUnavailable) {
+            ++admission.dropped;
+            dropped_ids.push_back(i);
+            continue;
+          }
+          if (f.fate == ClientFate::kStraggler) ++admission.stragglers;
+          active.push_back(i);
+        }
+      } else {
+        active = selected;
+      }
+
+      stats = admission;
+      std::optional<EvalSummary> guard_eval;
+      if (active.size() < quorum) {
+        // Not enough live participants to even start: skip the round and
+        // leave the global model untouched.
+        stats.skipped = true;
+        common::log_debug(algo.name(), " round ", round,
+                          " skipped below quorum (", active.size(), "/",
+                          quorum, ")");
+      } else {
+        // Pre-round snapshot for the divergence guard: algorithm state plus
+        // ledger counters, so a rolled-back round leaves no trace (bytes are
+        // metered once, by the re-run).
+        RunCheckpoint snapshot;
+        CommSnapshot ledger_snap;
+        if (guard) {
+          algo.save_state(snapshot);
+          ledger_snap = algo.ledger().snapshot();
+        }
+        if (defended) algo.begin_round(round, admission);
+        algo.run_round(active);
+        if (defended) stats = algo.round_stats();
+        if (guard) {
+          EvalSummary eval = algo.evaluate_clients();
+          const bool exploded =
+              !std::isfinite(eval.avg_loss) ||
+              (std::isfinite(prev_loss) && prev_loss > 0.0 &&
+               eval.avg_loss > opts.divergence_factor * prev_loss);
+          if (exploded) {
+            common::log_debug(algo.name(), " round ", round,
+                              " diverged (loss ", eval.avg_loss,
+                              "), rolling back and re-aggregating with ",
+                              aggregator_kind_name(opts.divergence_fallback));
+            algo.load_state(snapshot);
+            algo.ledger().restore(ledger_snap);
+            ResilienceConfig fallback = resilience;
+            fallback.aggregator = opts.divergence_fallback;
+            algo.set_fault_injection(faults ? &*faults : nullptr, fallback);
+            algo.begin_round(round, admission);
+            algo.run_round(active);
+            stats = algo.round_stats();
+            stats.rolled_back = true;
+            if (defended) {
+              algo.set_fault_injection(faults ? &*faults : nullptr,
+                                       resilience);
+            } else {
+              algo.clear_fault_injection();
+            }
+            eval = algo.evaluate_clients();
+          }
+          prev_loss = eval.avg_loss;
+          guard_eval = eval;
+        }
+      }
+      accumulate(result, stats);
+
+      if (opts.fault_aware_sampling) {
+        for (const std::size_t i : selected) {
+          const bool failed = contains(dropped_ids, i) ||
+                              contains(stats.rejected_clients, i);
+          fail_ema[i] = ema_decay * fail_ema[i] +
+                        (1.0 - ema_decay) * (failed ? 1.0 : 0.0);
+        }
+      }
+
+      if (round % opts.eval_every == 0 || round == opts.rounds) {
+        const EvalSummary eval =
+            guard_eval ? *guard_eval : algo.evaluate_clients();
+        round_eval = eval;
+        RoundRecord rec;
+        rec.round = round;
+        rec.avg_accuracy = eval.avg_accuracy;
+        rec.avg_loss = eval.avg_loss;
+        rec.cumulative_bytes = algo.ledger().total_bytes();
+        rec.stats = stats;
+        result.history.push_back(rec);
+        result.final_accuracy = eval.avg_accuracy;
+        result.best_accuracy = std::max(result.best_accuracy,
+                                        eval.avg_accuracy);
+        if (callback) callback(round, rec);
+        common::log_debug(algo.name(), " round ", round, " acc ",
+                          eval.avg_accuracy);
+        if (opts.target_accuracy && !result.rounds_to_target &&
+            eval.avg_accuracy >= *opts.target_accuracy) {
+          result.rounds_to_target = round;
+          stop = true;
+        }
+      }
+
+      if (!stop && opts.checkpoint_every > 0 &&
+          round % opts.checkpoint_every == 0) {
+        SPATL_TRACE_SPAN("fl/checkpoint");
+        RunCheckpoint ckpt;
+        algo.save_state(ckpt);
+        ckpt.entries.push_back(pack_u64s("run/round", {std::uint64_t(round)}));
+        ckpt.entries.push_back(pack_rng("run/sampler_rng", sampler));
+        const CommSnapshot lg = algo.ledger().snapshot();
+        ckpt.entries.push_back(pack_doubles(
+            "run/ledger", {lg.uplink, lg.downlink, lg.retransmitted}));
+        ckpt.entries.push_back(pack_doubles("run/ema", fail_ema));
+        ckpt.entries.push_back(pack_u64s(
+            "run/totals",
+            {std::uint64_t(result.total_selected),
+             std::uint64_t(result.total_dropped),
+             std::uint64_t(result.total_stragglers),
+             std::uint64_t(result.total_accepted),
+             std::uint64_t(result.total_rejected),
+             std::uint64_t(result.total_retransmissions),
+             std::uint64_t(result.rounds_skipped),
+             std::uint64_t(result.total_attacked),
+             std::uint64_t(result.total_suspected),
+             std::uint64_t(result.rounds_rolled_back)}));
+        ckpt.entries.push_back(pack_doubles(
+            "run/series",
+            {result.best_accuracy, result.final_accuracy, prev_loss}));
+        if (!opts.checkpoint_path.empty()) ckpt.save(opts.checkpoint_path);
+        result.last_checkpoint = std::move(ckpt);
+        ++result.checkpoints_written;
       }
     }
-    accumulate(result, stats);
 
-    if (opts.fault_aware_sampling) {
-      for (const std::size_t i : selected) {
-        const bool failed = contains(dropped_ids, i) ||
-                            contains(stats.rejected_clients, i);
-        fail_ema[i] =
-            ema_decay * fail_ema[i] + (1.0 - ema_decay) * (failed ? 1.0 : 0.0);
+    if (telemetry_round) {
+      // One unified record per telemetry round: participation/failure
+      // stats, ledger byte deltas, robust-aggregation attribution,
+      // divergence-guard actions, and (when tracing) per-phase wall times.
+      const CommSnapshot delta = algo.ledger().snapshot().since(comm_start);
+      obs::JsonObject comm;
+      comm.add("uplink_bytes", delta.uplink)
+          .add("downlink_bytes", delta.downlink)
+          .add("retransmitted_bytes", delta.retransmitted)
+          .add("cumulative_bytes", algo.ledger().total_bytes());
+      obs::JsonObject rec;
+      rec.add("type", "round")
+          .add("algo", algo.name())
+          .add("round", std::uint64_t(round))
+          .add("selected", std::uint64_t(stats.selected))
+          .add("dropped", std::uint64_t(stats.dropped))
+          .add("stragglers", std::uint64_t(stats.stragglers))
+          .add("accepted", std::uint64_t(stats.accepted))
+          .add("rejected", std::uint64_t(stats.rejected_total()))
+          .add("retransmissions", std::uint64_t(stats.retransmissions))
+          .add("clipped", std::uint64_t(stats.clipped))
+          .add("skipped", stats.skipped)
+          .add("rolled_back", stats.rolled_back)
+          .add_raw("attackers", ids_array(stats.attackers))
+          .add_raw("suspects", ids_array(stats.suspects))
+          .add_raw("comm", comm.str());
+      if (stats.rolled_back) {
+        rec.add("fallback", aggregator_kind_name(opts.divergence_fallback));
       }
-    }
-
-    if (round % opts.eval_every == 0 || round == opts.rounds) {
-      const EvalSummary eval =
-          guard_eval ? *guard_eval : algo.evaluate_clients();
-      RoundRecord rec;
-      rec.round = round;
-      rec.avg_accuracy = eval.avg_accuracy;
-      rec.avg_loss = eval.avg_loss;
-      rec.cumulative_bytes = algo.ledger().total_bytes();
-      rec.stats = stats;
-      result.history.push_back(rec);
-      result.final_accuracy = eval.avg_accuracy;
-      result.best_accuracy = std::max(result.best_accuracy,
-                                      eval.avg_accuracy);
-      if (callback) callback(round, rec);
-      common::log_debug(algo.name(), " round ", round, " acc ",
-                        eval.avg_accuracy);
-      if (opts.target_accuracy && !result.rounds_to_target &&
-          eval.avg_accuracy >= *opts.target_accuracy) {
-        result.rounds_to_target = round;
-        break;
+      if (round_eval) {
+        rec.add_raw("eval",
+                    obs::JsonObject()
+                        .add("avg_accuracy", round_eval->avg_accuracy)
+                        .add("avg_loss", round_eval->avg_loss)
+                        .str());
       }
+      if (tracer.enabled()) {
+        obs::JsonObject phases;
+        for (const auto& phase : tracer.phase_totals(trace_start)) {
+          phases.add_raw(phase.name, obs::JsonObject()
+                                         .add("total_ns", phase.total_ns)
+                                         .add("count", phase.count)
+                                         .str());
+        }
+        rec.add_raw("phases", phases.str());
+      }
+      opts.telemetry->write(rec);
     }
-
-    if (opts.checkpoint_every > 0 && round % opts.checkpoint_every == 0) {
-      RunCheckpoint ckpt;
-      algo.save_state(ckpt);
-      ckpt.entries.push_back(pack_u64s("run/round", {std::uint64_t(round)}));
-      ckpt.entries.push_back(pack_rng("run/sampler_rng", sampler));
-      ckpt.entries.push_back(pack_doubles(
-          "run/ledger", {algo.ledger().uplink_bytes(),
-                         algo.ledger().downlink_bytes(),
-                         algo.ledger().retransmitted_bytes()}));
-      ckpt.entries.push_back(pack_doubles("run/ema", fail_ema));
-      ckpt.entries.push_back(pack_u64s(
-          "run/totals",
-          {std::uint64_t(result.total_selected),
-           std::uint64_t(result.total_dropped),
-           std::uint64_t(result.total_stragglers),
-           std::uint64_t(result.total_accepted),
-           std::uint64_t(result.total_rejected),
-           std::uint64_t(result.total_retransmissions),
-           std::uint64_t(result.rounds_skipped),
-           std::uint64_t(result.total_attacked),
-           std::uint64_t(result.total_suspected),
-           std::uint64_t(result.rounds_rolled_back)}));
-      ckpt.entries.push_back(pack_doubles(
-          "run/series",
-          {result.best_accuracy, result.final_accuracy, prev_loss}));
-      if (!opts.checkpoint_path.empty()) ckpt.save(opts.checkpoint_path);
-      result.last_checkpoint = std::move(ckpt);
-      ++result.checkpoints_written;
-    }
+    if (stop) break;
   }
-  result.total_bytes = algo.ledger().total_bytes();
-  result.retransmitted_bytes = algo.ledger().retransmitted_bytes();
+  result.comm = algo.ledger().snapshot();
+  result.total_bytes = result.comm.total();
+  result.retransmitted_bytes = result.comm.retransmitted;
   if (defended) algo.clear_fault_injection();
   return result;
 }

@@ -19,8 +19,13 @@
 
 #include "fl/algorithm.hpp"
 #include "fl/checkpoint.hpp"
+#include "fl/comm.hpp"
 #include "fl/fault.hpp"
 #include "fl/robust.hpp"
+
+namespace spatl::obs {
+class JsonlWriter;
+}  // namespace spatl::obs
 
 namespace spatl::fl {
 
@@ -73,6 +78,15 @@ struct RunOptions {
   /// re-aggregate it with `divergence_fallback` instead. 0 = off.
   double divergence_factor = 0.0;
   AggregatorKind divergence_fallback = AggregatorKind::kCoordinateMedian;
+
+  /// Per-round telemetry sink (DESIGN.md §10): when non-null the runner
+  /// appends one "round" JSONL record per `telemetry_every` rounds unifying
+  /// RoundStats, CommLedger byte deltas, divergence-guard actions, and —
+  /// when the tracer is enabled — per-phase wall times. Pure observation:
+  /// attaching a sink never changes a single float of the simulation. Not
+  /// owned; must outlive the run.
+  obs::JsonlWriter* telemetry = nullptr;
+  std::size_t telemetry_every = 1;
 };
 
 struct RunResult {
@@ -103,6 +117,10 @@ struct RunResult {
   std::size_t checkpoints_written = 0;
   /// The latest full-state snapshot (empty when checkpointing is off).
   RunCheckpoint last_checkpoint;
+
+  /// Final ledger counters (total_bytes / retransmitted_bytes above are
+  /// derived from this snapshot rather than re-summed by hand).
+  CommSnapshot comm;
 };
 
 using RoundCallback =

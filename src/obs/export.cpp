@@ -1,0 +1,184 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace spatl::obs {
+
+namespace {
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonObject::key(const std::string& k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::add(const std::string& k, double value) {
+  key(k);
+  body_ += number(value);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& k, std::uint64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& k, std::int64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& k, const std::string& value) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& k, const char* value) {
+  return add(k, std::string(value));
+}
+
+JsonObject& JsonObject::add_raw(const std::string& k,
+                                const std::string& json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonObject::str() const { return "{" + body_ + "}"; }
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("JsonlWriter: cannot open " + path);
+  }
+}
+
+void JsonlWriter::write(const JsonObject& object) {
+  out_ << object.str() << '\n';
+  out_.flush();
+  ++lines_;
+}
+
+JsonObject metrics_object(const MetricsSnapshot& snapshot) {
+  JsonObject counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.add(name, value);
+  }
+  JsonObject gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.add(name, value);
+  }
+  JsonObject histograms;
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string bounds = "[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) bounds += ',';
+      bounds += number(h.bounds[i]);
+    }
+    bounds += ']';
+    std::string buckets = "[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) buckets += ',';
+      buckets += std::to_string(h.buckets[i]);
+    }
+    buckets += ']';
+    JsonObject hist;
+    hist.add_raw("bounds", bounds)
+        .add_raw("buckets", buckets)
+        .add("count", h.count)
+        .add("sum", h.sum);
+    histograms.add_raw(name, hist.str());
+  }
+  JsonObject out;
+  out.add_raw("counters", counters.str())
+      .add_raw("gauges", gauges.str())
+      .add_raw("histograms", histograms.str());
+  return out;
+}
+
+void write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& ev : tracer.events()) {
+    JsonObject e;
+    e.add("name", ev.name)
+        .add("cat", ev.category)
+        .add("ph", "X")
+        .add("ts", double(ev.start_ns) / 1e3)   // microseconds
+        .add("dur", double(ev.dur_ns) / 1e3)
+        .add("pid", std::uint64_t{1})
+        .add("tid", std::uint64_t(ev.tid))
+        .add_raw("args", JsonObject()
+                             .add("depth", std::uint64_t(ev.depth))
+                             .add("seq", ev.seq)
+                             .str());
+    if (!first) out << ',';
+    first = false;
+    out << e.str();
+  }
+  out << "]}\n";
+  if (!out.good()) {
+    throw std::runtime_error("write_chrome_trace: write failed for " + path);
+  }
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_metrics_json: cannot open " + path);
+  }
+  out << metrics_object(snapshot).str() << '\n';
+}
+
+}  // namespace spatl::obs

@@ -1,0 +1,77 @@
+// Telemetry exporters (DESIGN.md §10):
+//
+//   JsonObject / JsonlWriter  — minimal ordered JSON builder and an
+//       append-per-line JSONL file sink. The federated runner emits one
+//       "round" record per communication round through a JsonlWriter; the
+//       bench/CLI scopes append a final "metrics" record with the registry
+//       snapshot.
+//   write_chrome_trace        — Chrome trace-event JSON ("X" complete
+//       events) loadable in chrome://tracing and Perfetto.
+//   metrics_object            — a MetricsSnapshot rendered as one JSON
+//       object (counters, gauges, histograms).
+//
+// Non-finite doubles are serialized as null (JSON has no NaN/Inf), so a
+// diverged round's loss cannot corrupt the stream.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace spatl::obs {
+
+/// JSON string escaping for quotes, backslashes and control characters.
+std::string json_escape(const std::string& raw);
+
+/// One JSON object built field-by-field in insertion order.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double value);
+  JsonObject& add(const std::string& key, std::uint64_t value);
+  JsonObject& add(const std::string& key, std::int64_t value);
+  JsonObject& add(const std::string& key, bool value);
+  JsonObject& add(const std::string& key, const std::string& value);
+  JsonObject& add(const std::string& key, const char* value);
+  /// Splice a pre-rendered JSON value (nested object/array) verbatim.
+  JsonObject& add_raw(const std::string& key, const std::string& json);
+
+  /// "{...}" — always a syntactically complete object.
+  std::string str() const;
+
+ private:
+  void key(const std::string& k);
+  std::string body_;
+};
+
+/// Append-only JSONL file: one JSON object per line, flushed per write so
+/// a crashed run keeps every completed record. Truncates on open; throws
+/// std::runtime_error when the file cannot be created.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path);
+
+  void write(const JsonObject& object);
+  std::size_t lines() const { return lines_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t lines_ = 0;
+};
+
+/// Render a metrics snapshot as one JSON object.
+JsonObject metrics_object(const MetricsSnapshot& snapshot);
+
+/// Write the tracer's completed spans as Chrome trace-event JSON
+/// ({"traceEvents": [...]}). Throws std::runtime_error on open failure.
+void write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+/// Write the registry snapshot as a standalone JSON document.
+void write_metrics_json(const MetricsSnapshot& snapshot,
+                        const std::string& path);
+
+}  // namespace spatl::obs

@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace spatl::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::register_shard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  return *shards_.back();
+}
+
+std::uint32_t MetricsRegistry::allocate_slots(std::size_t n) {
+  if (next_slot_ + n > kSlotCapacity) {
+    throw std::length_error(
+        "MetricsRegistry: shard slot budget exhausted (kSlotCapacity)");
+  }
+  const auto base = std::uint32_t(next_slot_);
+  next_slot_ += n;
+  return base;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kCounter) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind");
+    }
+    return Counter(this, it->second.slot);
+  }
+  Entry e;
+  e.kind = Kind::kCounter;
+  e.slot = allocate_slots(1);
+  entries_.emplace(name, e);
+  return Counter(this, e.slot);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kGauge) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind");
+    }
+    return Gauge(it->second.gauge);
+  }
+  gauge_cells_.emplace_back(0.0);
+  Entry e;
+  e.kind = Kind::kGauge;
+  e.gauge = &gauge_cells_.back();
+  entries_.emplace(name, e);
+  return Gauge(e.gauge);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      throw std::invalid_argument(
+          "MetricsRegistry: histogram bounds must be strictly ascending");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kHistogram ||
+        *it->second.bounds != bounds) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind "
+                                  "or bounds");
+    }
+    return Histogram(this, it->second.slot, it->second.bounds);
+  }
+  histogram_bounds_.push_back(std::move(bounds));
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.bounds = &histogram_bounds_.back();
+  // Layout: bounds+1 buckets (overflow last), then the micro-unit sum.
+  e.slot = allocate_slots(e.bounds->size() + 2);
+  entries_.emplace(name, e);
+  return Histogram(this, e.slot, e.bounds);
+}
+
+std::uint64_t MetricsRegistry::sum_slot(std::uint32_t slot) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->slots[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.counters[name] = sum_slot(e.slot);
+        break;
+      case Kind::kGauge:
+        out.gauges[name] = e.gauge->load(std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.bounds = *e.bounds;
+        h.buckets.resize(e.bounds->size() + 1);
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+          h.buckets[b] = sum_slot(e.slot + std::uint32_t(b));
+          h.count += h.buckets[b];
+        }
+        h.sum = double(static_cast<std::int64_t>(
+                    sum_slot(e.slot + std::uint32_t(h.buckets.size())))) *
+                1e-6;
+        out.histograms[name] = std::move(h);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (std::size_t s = 0; s < next_slot_; ++s) {
+      shard->slots[s].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& cell : gauge_cells_) cell.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace spatl::obs

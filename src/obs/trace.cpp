@@ -1,0 +1,121 @@
+// The telemetry layer's only wall-clock reads live in this file: spans
+// observe where time goes but never feed it back into the simulation.
+// spatl-lint: allow(chrono-now)
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace spatl::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+std::uint32_t local_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(steady_now_ns()) { ring_.reserve(capacity_); }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+std::uint32_t Tracer::push_depth() { return t_span_depth++; }
+
+void Tracer::pop_depth() {
+  if (t_span_depth > 0) --t_span_depth;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::record(const char* name, const char* category,
+                    std::uint64_t start_ns, std::uint64_t end_ns,
+                    std::uint32_t depth) {
+  SpanEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.tid = local_thread_id();
+  ev.depth = depth;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled()) return;  // disabled while the span was open: drop
+  ev.seq = seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[head_] = ev;  // overwrite the oldest event
+    ++dropped_;
+  }
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out = ring_;
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t Tracer::cursor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+std::vector<Tracer::PhaseTotal> Tracer::phase_totals(
+    std::uint64_t since_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, PhaseTotal> totals;
+  for (const SpanEvent& ev : ring_) {
+    if (ev.seq < since_seq) continue;
+    PhaseTotal& t = totals[ev.name];
+    if (t.name.empty()) t.name = ev.name;
+    t.total_ns += ev.dur_ns;
+    ++t.count;
+  }
+  std::vector<PhaseTotal> out;
+  out.reserve(totals.size());
+  for (auto& [name, total] : totals) out.push_back(std::move(total));
+  return out;
+}
+
+}  // namespace spatl::obs

@@ -1,0 +1,125 @@
+// Span-based phase tracer: SPATL_TRACE_SPAN("phase") opens an RAII span
+// whose wall-clock extent, thread id, and nesting depth are recorded into a
+// bounded ring buffer for Chrome-trace export and per-round phase
+// attribution (DESIGN.md §10).
+//
+// Cost model: when tracing is disabled (the default) a span is one relaxed
+// atomic load and two branches — cheap enough to leave in every phase of
+// the federated stack. When enabled, each span end takes a short mutex to
+// push one fixed-size event; spans instrument coarse phases (per round /
+// per client / per agent step), not inner kernels, so contention is nil.
+//
+// All wall-clock reads live in trace.cpp behind the repo-wide chrono-now
+// lint carve-out: the tracer observes the simulation and must never feed
+// time back into it, so enabling tracing cannot change a single float.
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the tracer): events store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spatl::obs {
+
+struct SpanEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint64_t start_ns = 0;  // since tracer epoch
+  std::uint64_t dur_ns = 0;
+  std::uint64_t seq = 0;  // global completion order
+  std::uint32_t tid = 0;  // dense per-thread id, assigned on first span
+  std::uint32_t depth = 0;  // nesting level on the recording thread
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Ring capacity in events; when full the oldest events are overwritten
+  /// and dropped() counts them. Clears the buffer.
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+  /// Completed spans in completion (seq) order.
+  std::vector<SpanEvent> events() const;
+  std::uint64_t dropped() const;
+
+  /// Sequence number the next completed span will get — a cursor for
+  /// phase_totals() round windows.
+  std::uint64_t cursor() const;
+
+  /// Wall-time totals per span name over events with seq >= since_seq
+  /// (sorted by name — deterministic exporter output).
+  struct PhaseTotal {
+    std::string name;
+    std::uint64_t total_ns = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<PhaseTotal> phase_totals(std::uint64_t since_seq) const;
+
+  // --- TraceSpan internals ------------------------------------------------
+  std::uint64_t now_ns() const;  // monotonic, relative to tracer epoch
+  void record(const char* name, const char* category, std::uint64_t start_ns,
+              std::uint64_t end_ns, std::uint32_t depth);
+  static std::uint32_t push_depth();  // returns depth BEFORE the push
+  static void pop_depth();
+
+ private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_ = 0;  // absolute steady-clock origin
+
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;  // guarded by mu_
+  std::size_t capacity_ = 1 << 16;
+  std::size_t head_ = 0;  // next write index, guarded by mu_
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "spatl") {
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled()) return;
+    name_ = name;
+    category_ = category;
+    start_ns_ = tracer.now_ns();
+    depth_ = Tracer::push_depth();
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    Tracer& tracer = Tracer::instance();
+    Tracer::pop_depth();
+    tracer.record(name_, category_, start_ns_, tracer.now_ns(), depth_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+#define SPATL_OBS_CONCAT_INNER(a, b) a##b
+#define SPATL_OBS_CONCAT(a, b) SPATL_OBS_CONCAT_INNER(a, b)
+
+/// Open a scoped span: SPATL_TRACE_SPAN("fl/round") or
+/// SPATL_TRACE_SPAN("rl/act", "rl"). Name/category must be literals.
+#define SPATL_TRACE_SPAN(...)                                  \
+  ::spatl::obs::TraceSpan SPATL_OBS_CONCAT(spatl_trace_span_,  \
+                                           __LINE__)(__VA_ARGS__)
+
+}  // namespace spatl::obs

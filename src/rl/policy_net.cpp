@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "tensor/ops.hpp"
 
 namespace spatl::rl {
@@ -88,6 +89,11 @@ PolicyOutput PolicyNetwork::forward(const graph::ComputeGraph& graph) {
 
   Tensor v = critic_->forward(g, true);  // (1, 1)
   out.value = double(v[0]);
+  // RL-path numeric guard (ROADMAP): the policy net must never emit NaN/Inf
+  // actions or values. The FL data path stays unchecked by design — the
+  // divergence guard owns non-finite recovery there.
+  SPATL_DCHECK_FINITE(out.action_means);
+  SPATL_DCHECK(std::isfinite(out.value));
   return out;
 }
 
@@ -98,6 +104,8 @@ void PolicyNetwork::backward(const std::vector<double>& d_means,
   if (d_means.size() != k) {
     throw std::invalid_argument("PolicyNetwork::backward: d_means size");
   }
+  SPATL_DCHECK_FINITE(d_means);
+  SPATL_DCHECK(std::isfinite(d_value));
   // Through sigmoid into the actor head.
   Tensor dmu_raw({k, 1});
   for (std::size_t a = 0; a < k; ++a) {

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace spatl::rl {
 
 PpoAgent::PpoAgent(std::size_t feature_dim, PpoConfig config,
@@ -41,6 +45,7 @@ double PpoAgent::log_prob(const std::vector<double>& actions,
 
 std::vector<double> PpoAgent::act(const graph::ComputeGraph& graph,
                                   bool explore) {
+  SPATL_TRACE_SPAN("rl/act", "rl");
   const PolicyOutput out = net_->forward(graph);
   if (!explore) return out.action_means;
 
@@ -71,6 +76,7 @@ void PpoAgent::observe_reward(double reward) {
 
 double PpoAgent::update() {
   if (buffer_.empty()) return 0.0;
+  SPATL_TRACE_SPAN("rl/update", "rl");
 
   // One-step episodes: advantage = reward - V(s), normalized across the
   // batch for scale robustness.
@@ -85,12 +91,16 @@ double PpoAgent::update() {
   for (double a : adv) var += (a - mean) * (a - mean);
   const double stddev = std::sqrt(var / double(buffer_.size())) + 1e-8;
   for (double& a : adv) a = (a - mean) / stddev;
+  SPATL_DCHECK_FINITE(adv);
 
   const double sigma2 = config_.action_std * config_.action_std;
   double mean_abs_adv = 0.0;
   for (double a : adv) mean_abs_adv += std::fabs(a);
   mean_abs_adv /= double(buffer_.size());
 
+  double ratio_sum = 0.0;
+  std::size_t ratio_count = 0;
+  std::size_t clipped_count = 0;
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
     net_->zero_grad();
     for (std::size_t i = 0; i < buffer_.size(); ++i) {
@@ -99,11 +109,15 @@ double PpoAgent::update() {
       const double logp_new = log_prob(t.actions, out.action_means);
       const double ratio = std::exp(
           std::clamp(logp_new - t.logp_old, -20.0, 20.0));
+      SPATL_DCHECK(std::isfinite(ratio));
+      ratio_sum += ratio;
+      ++ratio_count;
 
       // Clipped surrogate: gradient flows through `ratio` only when the
       // unclipped branch is active.
       const bool active = adv[i] >= 0.0 ? (ratio < 1.0 + config_.clip)
                                         : (ratio > 1.0 - config_.clip);
+      if (!active) ++clipped_count;
       std::vector<double> d_means(t.actions.size(), 0.0);
       if (active) {
         const double dl_dlogp = -adv[i] * ratio / double(buffer_.size());
@@ -113,12 +127,30 @@ double PpoAgent::update() {
               dl_dlogp * (t.actions[k] - out.action_means[k]) / sigma2;
         }
       }
+      SPATL_DCHECK_FINITE(d_means);
       const double d_value = config_.value_coef * (out.value - t.reward) /
                              double(buffer_.size());
+      SPATL_DCHECK(std::isfinite(d_value));
       net_->backward(d_means, d_value);
     }
     optimizer_->step();
   }
+
+  // Update diagnostics (observation only: gauge reads never feed back).
+  // Fixed-sigma Gaussian policy entropy per action dimension.
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.gauge("rl.advantage_mean_abs").set(mean_abs_adv);
+  if (ratio_count > 0) {
+    registry.gauge("rl.ratio_mean").set(ratio_sum / double(ratio_count));
+    registry.gauge("rl.clip_fraction")
+        .set(double(clipped_count) / double(ratio_count));
+  }
+  const double entropy_per_dim =
+      0.5 * std::log(2.0 * 3.14159265358979323846 *
+                     2.718281828459045 * sigma2);
+  registry.gauge("rl.policy_entropy_per_dim").set(entropy_per_dim);
+  registry.counter("rl.updates").increment();
+
   buffer_.clear();
   return mean_abs_adv;
 }

@@ -1,6 +1,7 @@
 #include "rl/pruning_env.hpp"
 
 #include "data/loader.hpp"
+#include "obs/trace.hpp"
 #include "prune/flops.hpp"
 #include "rl/ppo.hpp"
 
@@ -16,6 +17,7 @@ graph::ComputeGraph PruningEnv::reset() {
 }
 
 StepResult PruningEnv::step(const std::vector<double>& sparsities) {
+  SPATL_TRACE_SPAN("rl/env_step", "rl");
   StepResult result;
   result.applied_sparsities = prune::project_to_flops_budget(
       model_, sparsities, config_.flops_budget);
@@ -34,6 +36,7 @@ RlTrainHistory train_on_pruning(PpoAgent& agent, PruningEnv& env,
   for (std::size_t round = 0; round < rounds; ++round) {
     double reward_sum = 0.0;
     for (std::size_t e = 0; e < episodes_per_round; ++e) {
+      SPATL_TRACE_SPAN("rl/episode", "rl");
       const auto graph = env.reset();
       const auto actions = agent.act(graph, /*explore=*/true);
       const StepResult sr = env.step(actions);

@@ -1,0 +1,511 @@
+// Telemetry layer (DESIGN.md §10): metrics registry merge semantics —
+// including under concurrent pool chunks, the TSan tier's race probe —
+// span tracer ordering/windowing, exporter well-formedness, and the
+// contract the whole layer hangs on: enabling telemetry must not move a
+// single float of the simulation.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "data/synthetic.hpp"
+#include "fl/algorithm.hpp"
+#include "fl/runner.hpp"
+#include "nn/module.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace spatl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON syntax checker — enough to prove exporter output is
+// machine-loadable without pulling a JSON library into the build.
+class JsonChecker {
+ public:
+  static bool valid(const std::string& text) {
+    JsonChecker c(text);
+    c.ws();
+    if (!c.value()) return false;
+    c.ws();
+    return c.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        ++pos_;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool value() {
+    ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    ws();
+    if (eat('}')) return true;
+    for (;;) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!eat(':')) return false;
+      if (!value()) return false;
+      ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!value()) return false;
+      ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(MetricsRegistry, CounterGaugeHistogramRoundTrip) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+
+  obs::Counter c = reg.counter("test.obs.counter");
+  c.add(5);
+  c.increment();
+
+  obs::Gauge g = reg.gauge("test.obs.gauge");
+  g.set(1.0);
+  g.set(2.0);
+  g.set(42.5);  // last write wins
+
+  obs::Histogram h = reg.histogram("test.obs.hist", {1.0, 3.0, 5.0});
+  h.record(0.5);   // bucket 0
+  h.record(1.0);   // bucket 0 (inclusive upper bound)
+  h.record(2.0);   // bucket 1
+  h.record(4.0);   // bucket 2
+  h.record(99.0);  // overflow
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.counter"), 6u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.obs.gauge"), 42.5);
+  const obs::HistogramSnapshot& hs = snap.histograms.at("test.obs.hist");
+  ASSERT_EQ(hs.buckets.size(), 4u);
+  EXPECT_EQ(hs.buckets[0], 2u);
+  EXPECT_EQ(hs.buckets[1], 1u);
+  EXPECT_EQ(hs.buckets[2], 1u);
+  EXPECT_EQ(hs.buckets[3], 1u);
+  EXPECT_EQ(hs.count, 5u);
+  EXPECT_NEAR(hs.sum, 0.5 + 1.0 + 2.0 + 4.0 + 99.0, 1e-5);
+}
+
+TEST(MetricsRegistry, HistogramSumSurvivesNegativeValues) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  obs::Histogram h = reg.histogram("test.obs.signed_hist", {0.0});
+  h.record(-2.5);  // sum travels as signed micro-units in a u64 slot
+  h.record(1.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::HistogramSnapshot& hs =
+      snap.histograms.at("test.obs.signed_hist");
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_NEAR(hs.sum, -1.5, 1e-5);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentButKindChecked) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  obs::Counter a = reg.counter("test.obs.dup");
+  obs::Counter b = reg.counter("test.obs.dup");  // same slot
+  a.increment();
+  b.increment();
+  EXPECT_EQ(reg.snapshot().counters.at("test.obs.dup"), 2u);
+  EXPECT_THROW(reg.gauge("test.obs.dup"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("test.obs.dup", {1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ResetZeroesButHandlesStayValid) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter c = reg.counter("test.obs.reset");
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().counters.at("test.obs.reset"), 0u);
+  c.add(3);
+  EXPECT_EQ(reg.snapshot().counters.at("test.obs.reset"), 3u);
+}
+
+// The race probe for the TSan tier: many pool threads hammer the same
+// counter/histogram handles through their per-thread shards; snapshot()
+// must merge to the exact total.
+TEST(MetricsRegistry, ConcurrentUpdatesMergeExactlyAcrossPoolThreads) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  obs::Counter c = reg.counter("test.obs.parallel_counter");
+  obs::Histogram h = reg.histogram("test.obs.parallel_hist", {1.0, 3.0, 5.0});
+
+  constexpr std::size_t kChunks = 64;
+  common::ThreadPool pool(4);
+  pool.run_chunks(kChunks, [&](std::size_t i) {
+    c.add(i + 1);
+    h.record(double(i % 8));
+  });
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.parallel_counter"),
+            kChunks * (kChunks + 1) / 2);
+  const obs::HistogramSnapshot& hs =
+      snap.histograms.at("test.obs.parallel_hist");
+  EXPECT_EQ(hs.count, kChunks);
+  // values 0..7, 8 repetitions each: {0,1} | {2,3} | {4,5} | {6,7}
+  ASSERT_EQ(hs.buckets.size(), 4u);
+  for (const std::uint64_t bucket : hs.buckets) EXPECT_EQ(bucket, 16u);
+  EXPECT_NEAR(hs.sum, 8.0 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7), 1e-4);
+}
+
+TEST(MetricsRegistry, ThreadPoolSelfInstrumentationCountsChunks) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  common::ThreadPool pool(2);
+  pool.run_chunks(10, [](std::size_t) {});
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_GE(snap.counters.at("threadpool.batches"), 1u);
+  EXPECT_GE(snap.counters.at("threadpool.chunks"), 10u);
+  EXPECT_TRUE(snap.gauges.count("threadpool.queue_depth"));
+  EXPECT_TRUE(snap.gauges.count("threadpool.busy_workers"));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);
+  tracer.clear();
+  const std::uint64_t before = tracer.cursor();
+  {
+    SPATL_TRACE_SPAN("test/never");
+    SPATL_TRACE_SPAN("test/never_nested", "test");
+  }
+  EXPECT_EQ(tracer.cursor(), before);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, NestedSpansRecordDepthAndCompletionOrder) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(1 << 10);  // clears
+  tracer.set_enabled(true);
+  {
+    SPATL_TRACE_SPAN("test/outer");
+    { SPATL_TRACE_SPAN("test/inner"); }
+  }
+  tracer.set_enabled(false);
+  const std::vector<obs::SpanEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner completes first; events() is completion (seq) order.
+  EXPECT_STREQ(events[0].name, "test/inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "test/outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_GE(events[1].dur_ns, events[0].dur_ns);
+}
+
+TEST(Tracer, RingOverflowDropsOldest) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(4);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    SPATL_TRACE_SPAN("test/ring");
+  }
+  tracer.set_enabled(false);
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  tracer.set_capacity(1 << 16);  // restore default for later tests
+}
+
+TEST(Tracer, PhaseTotalsWindowFromCursor) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(1 << 10);
+  tracer.set_enabled(true);
+  { SPATL_TRACE_SPAN("test/before_window"); }
+  const std::uint64_t cursor = tracer.cursor();
+  { SPATL_TRACE_SPAN("test/a"); }
+  { SPATL_TRACE_SPAN("test/a"); }
+  { SPATL_TRACE_SPAN("test/b"); }
+  tracer.set_enabled(false);
+  const auto totals = tracer.phase_totals(cursor);
+  ASSERT_EQ(totals.size(), 2u);  // before_window excluded, names sorted
+  EXPECT_EQ(totals[0].name, "test/a");
+  EXPECT_EQ(totals[0].count, 2u);
+  EXPECT_EQ(totals[1].name, "test/b");
+  EXPECT_EQ(totals[1].count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(Exporters, JsonObjectEscapesAndSerializesNonFiniteAsNull) {
+  obs::JsonObject obj;
+  obj.add("plain", std::string("a\"b\\c\nd"))
+      .add("num", 1.5)
+      .add("nan", std::nan(""))
+      .add("inf", HUGE_VAL)
+      .add("flag", true)
+      .add("count", std::uint64_t{7})
+      .add("delta", std::int64_t{-3});
+  const std::string text = obj.str();
+  EXPECT_TRUE(JsonChecker::valid(text)) << text;
+  EXPECT_NE(text.find("\"nan\":null"), std::string::npos);
+  EXPECT_NE(text.find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(text.find("\\\"b\\\\c\\n"), std::string::npos);
+}
+
+TEST(Exporters, MetricsObjectIsValidJson) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("test.obs.export_counter").add(3);
+  reg.gauge("test.obs.export_gauge").set(0.25);
+  reg.histogram("test.obs.export_hist", {1.0, 2.0}).record(1.5);
+  const std::string text = obs::metrics_object(reg.snapshot()).str();
+  EXPECT_TRUE(JsonChecker::valid(text)) << text;
+  EXPECT_NE(text.find("\"test.obs.export_counter\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"test.obs.export_hist\""), std::string::npos);
+}
+
+TEST(Exporters, JsonlWriterEmitsOneValidObjectPerLine) {
+  const std::string path = temp_path("test_obs.jsonl");
+  obs::JsonlWriter writer(path);
+  for (int i = 0; i < 3; ++i) {
+    obs::JsonObject rec;
+    rec.add("type", "probe").add("i", std::uint64_t(i));
+    writer.write(rec);
+  }
+  EXPECT_EQ(writer.lines(), 3u);
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonChecker::valid(line)) << line;
+  }
+}
+
+TEST(Exporters, ChromeTraceIsValidJsonWithOneEventPerSpan) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(1 << 10);
+  tracer.set_enabled(true);
+  { SPATL_TRACE_SPAN("test/trace_export"); }
+  { SPATL_TRACE_SPAN("test/trace_export2", "test"); }
+  tracer.set_enabled(false);
+  const std::string path = temp_path("test_obs.trace.json");
+  obs::write_chrome_trace(tracer, path);
+  const std::string text = read_file(path);
+  EXPECT_TRUE(JsonChecker::valid(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"test/trace_export\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"test\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Federated runner integration
+
+fl::RunResult run_fed(fl::RunOptions opts, std::vector<float>* params_out) {
+  data::SyntheticConfig scfg;
+  scfg.num_samples = 240;
+  scfg.image_size = 8;
+  scfg.num_classes = 10;
+  scfg.noise_stddev = 0.2f;
+  scfg.seed = 11;
+  const auto source = data::make_synth_cifar(scfg);
+  common::Rng rng(13);
+  fl::FlEnvironment env(source, /*clients=*/4, /*beta=*/0.5,
+                        /*val_fraction=*/0.25, rng);
+  fl::FlConfig cfg;
+  cfg.model.arch = "cnn2";
+  cfg.model.in_channels = 3;
+  cfg.model.input_size = 8;
+  cfg.model.width_mult = 0.25;
+  cfg.model.num_classes = 10;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 32;
+  cfg.local.lr = 0.05;
+  cfg.seed = 21;
+  fl::FedAvg algo(env, cfg);
+  fl::RunResult result = fl::run_federated(algo, opts);
+  if (params_out != nullptr) {
+    *params_out = nn::flatten_values(algo.global_model().all_params());
+  }
+  return result;
+}
+
+TEST(Telemetry, RunnerEmitsOneRoundRecordPerRoundWithPhases) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(1 << 16);
+  tracer.set_enabled(true);
+  const std::string path = temp_path("test_obs_rounds.jsonl");
+  {
+    obs::JsonlWriter telemetry(path);
+    fl::RunOptions opts;
+    opts.rounds = 3;
+    opts.eval_every = 2;
+    opts.telemetry = &telemetry;
+    const fl::RunResult result = run_fed(opts, nullptr);
+    EXPECT_EQ(telemetry.lines(), 3u);
+    // RunResult totals are derived from the final ledger snapshot.
+    EXPECT_EQ(result.total_bytes, result.comm.total());
+    EXPECT_EQ(result.retransmitted_bytes, result.comm.retransmitted);
+  }
+  tracer.set_enabled(false);
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonChecker::valid(line)) << line;
+    EXPECT_NE(line.find("\"type\":\"round\""), std::string::npos);
+    EXPECT_NE(line.find("\"algo\":\"fedavg\""), std::string::npos);
+    EXPECT_NE(line.find("\"selected\":"), std::string::npos);
+    EXPECT_NE(line.find("\"comm\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"uplink_bytes\":"), std::string::npos);
+    // Tracing was on: per-phase wall-time attribution rides along.
+    EXPECT_NE(line.find("\"phases\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"fl/train\""), std::string::npos);
+    EXPECT_NE(line.find("\"fl/aggregate\""), std::string::npos);
+  }
+  // eval_every = 2 → eval summary lands on rounds 2 and 3 (final round).
+  EXPECT_EQ(lines[0].find("\"eval\":"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"eval\":"), std::string::npos);
+}
+
+TEST(Telemetry, TelemetryEveryStrideStillEmitsFinalRound) {
+  const std::string path = temp_path("test_obs_stride.jsonl");
+  obs::JsonlWriter telemetry(path);
+  fl::RunOptions opts;
+  opts.rounds = 5;
+  opts.eval_every = 100;
+  opts.telemetry = &telemetry;
+  opts.telemetry_every = 2;
+  run_fed(opts, nullptr);
+  // Rounds 2, 4 (stride) + 5 (final) = 3 records.
+  EXPECT_EQ(telemetry.lines(), 3u);
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines.back().find("\"round\":5"), std::string::npos);
+}
+
+// The load-bearing invariant: telemetry + tracing observe the run, they
+// never participate in it. Global parameters must match bit for bit.
+TEST(Telemetry, EnabledTelemetryIsBitIdenticalToDisabled) {
+  fl::RunOptions opts;
+  opts.rounds = 3;
+  opts.eval_every = 2;
+
+  std::vector<float> baseline;
+  run_fed(opts, &baseline);
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(1 << 16);
+  tracer.set_enabled(true);
+  std::vector<float> traced;
+  {
+    obs::JsonlWriter telemetry(temp_path("test_obs_bitid.jsonl"));
+    fl::RunOptions opts_t = opts;
+    opts_t.telemetry = &telemetry;
+    run_fed(opts_t, &traced);
+  }
+  tracer.set_enabled(false);
+
+  ASSERT_EQ(baseline.size(), traced.size());
+  EXPECT_EQ(std::memcmp(baseline.data(), traced.data(),
+                        baseline.size() * sizeof(float)),
+            0)
+      << "telemetry changed the simulation";
+}
+
+}  // namespace
+}  // namespace spatl

@@ -12,7 +12,13 @@
 //   spatl evaluate --ckpt run.ckpt --arch resnet20
 //   spatl prune --arch resnet20 --budget 0.6
 //   spatl info --arch vgg11 --input 32 --width 1.0
+//
+// usage() and top-level error reporting write straight to stderr by design
+// (a CLI's usage text must not depend on the log level):
+// spatl-lint: allow(raw-stderr)
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/flags.hpp"
@@ -27,6 +33,9 @@
 #include "fl/runner.hpp"
 #include "fl/server_opt.hpp"
 #include "models/checkpoint.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prune/flops.hpp"
 #include "prune/pipelines.hpp"
 
@@ -58,6 +67,9 @@ int usage() {
                "           [--checkpoint-every K] [--checkpoint-path FILE]\n"
                "           [--resume FILE] [--divergence-factor F]\n"
                "           [--fault-aware-sampling] [--fault-ema-decay F]\n"
+               "           telemetry (observation only):\n"
+               "           [--metrics-out FILE.jsonl] [--telemetry-every N]\n"
+               "           [--trace-out FILE.json]\n"
                "  evaluate --ckpt FILE --arch ARCH [--input PX] [--width F]\n"
                "  prune    --arch ARCH --budget F [--rl-rounds N]\n"
                "  info     --arch ARCH [--input PX] [--width F]\n");
@@ -197,6 +209,19 @@ int cmd_train(const common::Flags& flags) {
     std::printf("resuming from %s\n", resume_path.c_str());
   }
 
+  // Telemetry (DESIGN.md §10). Observation only: attaching the sink or
+  // enabling the tracer never changes a float of the run.
+  std::unique_ptr<obs::JsonlWriter> telemetry;
+  const std::string metrics_out = flags.get("metrics-out");
+  const std::string trace_out = flags.get("trace-out");
+  if (!metrics_out.empty()) {
+    telemetry = std::make_unique<obs::JsonlWriter>(metrics_out);
+    ro.telemetry = telemetry.get();
+    ro.telemetry_every = std::size_t(
+        std::max(1, int(flags.get_int("telemetry-every", 1))));
+  }
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
+
   const auto result = fl::run_federated(
       *algorithm, ro, [&](std::size_t round, const fl::RoundRecord& rec) {
         std::printf("round %3zu  acc %5.1f%%  loss %.3f  comm %s\n", round,
@@ -229,6 +254,22 @@ int cmd_train(const common::Flags& flags) {
     std::printf("checkpoints: %zu written%s%s\n", result.checkpoints_written,
                 ro.checkpoint_path.empty() ? "" : " to ",
                 ro.checkpoint_path.c_str());
+  }
+  if (telemetry != nullptr) {
+    obs::JsonObject rec;
+    rec.add("type", "metrics")
+        .add_raw("metrics",
+                 obs::metrics_object(
+                     obs::MetricsRegistry::instance().snapshot())
+                     .str());
+    telemetry->write(rec);
+    std::printf("telemetry: %zu records -> %s\n", telemetry->lines(),
+                metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(obs::Tracer::instance(), trace_out);
+    std::printf("trace written to %s\n", trace_out.c_str());
+    obs::Tracer::instance().set_enabled(false);
   }
 
   const std::string out = flags.get("out");

@@ -18,11 +18,17 @@
 //   raw-thread      std::thread/std::jthread outside
 //                   src/common/thread_pool.* — all parallelism goes through
 //                   the pool so determinism and shutdown stay centralized.
+//   raw-stderr      fprintf(stderr, ...)/std::cerr outside
+//                   src/common/log.cpp and the src/obs exporters — ad-hoc
+//                   stderr writes bypass the log-level filter and interleave
+//                   with telemetry output.
 //
 // A file opts out of one rule with a comment of the form
 //   spatl-lint: allow(<rule>)        (inside any // or /* */ comment)
 // which documents the exception in place. Comment and string literal
 // contents are excluded from rule matching, so prose never trips a rule.
+// This tool IS the repo's CLI diagnostics surface, hence:
+// spatl-lint: allow(raw-stderr)
 //
 // Usage: spatl_lint [repo-root]   (exit 0 clean, 1 violations, 2 error)
 #include <algorithm>
@@ -257,6 +263,23 @@ void check_raw_thread(FileReport& f) {
   }
 }
 
+void check_raw_stderr(FileReport& f) {
+  if (f.rel == "src/common/log.cpp") return;    // the sanctioned log sink
+  if (f.rel.rfind("src/obs/", 0) == 0) return;  // telemetry exporters
+  for (std::size_t p : find_token(f.code, "stderr")) {
+    f.add("raw-stderr", p,
+          "raw stderr write — route diagnostics through common/log.hpp "
+          "(log_warn/log_error)");
+  }
+  for (std::size_t p : find_token(f.code, "cerr")) {
+    if (p >= 5 && f.code.compare(p - 5, 5, "std::") == 0) {
+      f.add("raw-stderr", p,
+            "std::cerr — route diagnostics through common/log.hpp "
+            "(log_warn/log_error)");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,6 +326,7 @@ int main(int argc, char** argv) {
     check_naked_new(f);
     check_pragma_once(f);
     check_raw_thread(f);
+    check_raw_stderr(f);
   }
 
   for (const auto& v : violations) {
