@@ -192,6 +192,8 @@ struct RunSpec {
   /// unset).
   std::optional<fl::FaultConfig> faults;
   std::optional<fl::ResilienceConfig> resilience;
+  /// Semi-async straggler commit (bench_async); unset = synchronous policy.
+  std::optional<fl::AsyncConfig> async;
 };
 
 // --- shared resilience-bench baseline -------------------------------------
@@ -262,6 +264,7 @@ inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
   ro.target_accuracy = spec.target_accuracy;
   ro.faults = spec.faults;
   ro.resilience = spec.resilience;
+  ro.async = spec.async;
   ro.telemetry = g_telemetry_sink;
   ro.telemetry_every = g_telemetry_every;
 

@@ -162,6 +162,48 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
   std::vector<PendingMasked> pending;
   const bool robust = robust_active();
 
+  // Late commits first (DESIGN.md §11): a parked salient update kept its
+  // upload mask alongside the compacted raw deltas, so it replays through
+  // the same per-coordinate owner counting — or the masked-payload aware
+  // robust path — as a fresh upload, discounted by the commit-time
+  // staleness scale. Control deltas commit full-strength, like the fresh
+  // path (bookkeeping, not a step).
+  for (auto& b : take_due_updates()) {
+    const double scale = commit_scale(b);
+    ++accepted_count;
+    if (robust) {
+      PendingMasked pm;
+      pm.client = b.client;
+      pm.deltas.resize(b.values.size());
+      for (std::size_t p = 0; p < b.values.size(); ++p) {
+        pm.deltas[p] = float(scale * double(b.values[p]));
+      }
+      if (options_.gradient_control) {
+        pm.cmask.assign(b.mask.begin(),
+                        b.mask.begin() + std::ptrdiff_t(enc_dim));
+        pm.dc = std::move(b.aux);
+      }
+      pm.mask = std::move(b.mask);
+      pending.push_back(std::move(pm));
+      continue;
+    }
+    std::size_t p = 0;
+    for (std::size_t j = 0; j < shared_dim; ++j) {
+      if (!b.mask[j]) continue;
+      delta_sum[j] += scale * double(b.values[p]);
+      ++count[j];
+      ++p;
+    }
+    if (options_.gradient_control) {
+      p = 0;
+      for (std::size_t j = 0; j < enc_dim; ++j) {
+        if (!b.mask[j]) continue;
+        dc_sum[j] += double(b.aux[p]);
+        ++p;
+      }
+    }
+  }
+
   for (const std::size_t i : selected) {
     SpatlClientState& state = client_state(i);
     sync_encoder_to_client(state);
@@ -286,6 +328,31 @@ void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
                                       uploaded + uploaded_control,
                                       &payload_ref);
     ledger_.add_uplink_indices(selected_indices);
+    if (d.deferred) {
+      // Park the masked update raw (deltas against this round's base, no
+      // scale yet — the staleness discount depends on the actual commit
+      // round, which a skipped round can push further out).
+      fl::BufferedUpdate b;
+      b.values.reserve(uploaded);
+      std::size_t p = 0;
+      for (std::size_t j = 0; j < shared_dim; ++j) {
+        if (!mask[j]) continue;
+        b.values.push_back(
+            float(double(payload[p]) - double(w_global[j])));
+        ++p;
+      }
+      if (options_.gradient_control) {
+        b.aux.reserve(uploaded_control);
+        for (std::size_t j = 0; j < enc_dim; ++j) {
+          if (!mask[j]) continue;
+          b.aux.push_back(payload[p]);
+          ++p;
+        }
+      }
+      b.mask = mask;
+      park_update(i, d, std::move(b));
+      continue;
+    }
     if (!d.accepted) continue;
     ++accepted_count;
     if (robust) {

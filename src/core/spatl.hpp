@@ -61,6 +61,11 @@ class SpatlAlgorithm : public fl::FederatedAlgorithm {
                  const rl::PpoAgent* pretrained_agent = nullptr);
 
   std::string name() const override { return "spatl"; }
+  /// Salient masked uploads buffer correctly: a parked update keeps its
+  /// upload mask alongside the compacted deltas, so a late commit replays
+  /// through the same per-coordinate owner counting (and the masked-payload
+  /// aware robust aggregator) as a fresh one.
+  bool supports_async() const override { return true; }
   void run_round(const std::vector<std::size_t>& selected) override;
 
   /// SPATL deploys heterogeneous models: evaluation uses each client's own

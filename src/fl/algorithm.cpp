@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "data/loader.hpp"
 #include "fl/flat_utils.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace spatl::fl {
@@ -35,6 +36,56 @@ void FederatedAlgorithm::clear_fault_injection() {
   resilience_ = ResilienceConfig{};
   defended_ = false;
   robust_.reset();
+}
+
+void FederatedAlgorithm::set_async(const AsyncConfig& async) {
+  async_ = async;
+}
+
+void FederatedAlgorithm::clear_async() {
+  async_ = AsyncConfig{};
+  buffer_.clear();
+}
+
+bool FederatedAlgorithm::async_active() const {
+  return async_.enabled && supports_async() && fault_ != nullptr &&
+         fault_->enabled() && fault_->config().round_deadline > 0.0;
+}
+
+void FederatedAlgorithm::park_update(std::size_t client, const Delivery& d,
+                                     BufferedUpdate update) {
+  SPATL_DCHECK(d.deferred && d.lag >= 1);
+  update.client = client;
+  update.source_round = fault_round_;
+  update.commit_round = fault_round_ + d.lag;
+  buffer_.park(std::move(update));
+  ++stats_.parked;
+  stats_.buffer_depth = buffer_.size();
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("async.parked").increment();
+  registry.gauge("async.buffer_depth").set(double(buffer_.size()));
+  registry.histogram("async.lag", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0})
+      .record(double(d.lag));
+}
+
+std::vector<BufferedUpdate> FederatedAlgorithm::take_due_updates() {
+  if (!async_active() || buffer_.empty()) return {};
+  SPATL_TRACE_SPAN("fl/buffer");
+  std::vector<BufferedUpdate> due = buffer_.take_due(fault_round_);
+  stats_.late_commits += due.size();
+  stats_.buffer_depth = buffer_.size();
+  if (!due.empty()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("async.committed").add(due.size());
+    registry.gauge("async.buffer_depth").set(double(buffer_.size()));
+  }
+  return due;
+}
+
+double FederatedAlgorithm::commit_scale(const BufferedUpdate& update) const {
+  SPATL_DCHECK(fault_round_ >= update.source_round);
+  return staleness_scale(async_.stale_weight,
+                         fault_round_ - update.source_round);
 }
 
 bool FederatedAlgorithm::robust_active() const {
@@ -107,13 +158,30 @@ FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
       }
     }
   }
-  if (d.accepted && fault_ != nullptr && fault_->enabled() &&
-      fault_->assess(fault_round_, client).fate == ClientFate::kStraggler) {
-    if (resilience_.stale_weight > 0.0) {
-      d.scale = resilience_.stale_weight;
-    } else {
-      d.accepted = false;
-      d.reason = RejectReason::kDeadline;
+  if (d.accepted && fault_ != nullptr && fault_->enabled()) {
+    const ClientFault cf = fault_->assess(fault_round_, client);
+    if (cf.fate == ClientFate::kStraggler) {
+      // Straggler policy, in order of preference: park for a late commit
+      // (semi-async), down-weight in the same round (synchronous,
+      // stale_weight > 0), reject (kDeadline) only when neither applies —
+      // the contract RejectReason::kDeadline documents.
+      if (async_active()) {
+        const std::size_t lag =
+            straggler_lag(cf.compute_time, fault_->config().round_deadline);
+        if (lag <= async_.max_lag) {
+          d.accepted = false;
+          d.deferred = true;
+          d.lag = lag;
+          return d;  // caller parks the payload; accounted by park_update()
+        }
+        d.accepted = false;
+        d.reason = RejectReason::kDeadline;  // beyond the lag budget
+      } else if (resilience_.stale_weight > 0.0) {
+        d.scale = resilience_.stale_weight;
+      } else {
+        d.accepted = false;
+        d.reason = RejectReason::kDeadline;
+      }
     }
   }
   if (d.accepted) {
@@ -129,19 +197,26 @@ void FederatedAlgorithm::save_state(RunCheckpoint& out) {
   out.entries.push_back(
       pack_floats("algo/w", nn::flatten_values(global_.all_params())));
   out.entries.push_back(pack_floats("algo/bn", flatten_bn_stats(global_)));
+  // Parked straggler updates travel with the model so a resumed run replays
+  // the same late commits; nothing is written when the buffer is empty.
+  buffer_.save(out, "algo/async/");
 }
 
 void FederatedAlgorithm::load_state(const RunCheckpoint& in) {
   auto views = global_.all_params();
   nn::unflatten_values(unpack_floats(in.at("algo/w")), views);
   unflatten_bn_stats(unpack_floats(in.at("algo/bn")), global_);
+  buffer_.load(in, "algo/async/");
 }
 
 bool FederatedAlgorithm::quorum_met(std::size_t accepted_count) {
   const std::size_t quorum =
       defended_ ? std::max<std::size_t>(1, resilience_.min_quorum) : 1;
   if (accepted_count >= quorum) return true;
+  // Post-validation re-check: enough clients were admitted, but validation
+  // (or loss / deadline policy) thinned the survivor set below quorum.
   stats_.skipped = true;
+  stats_.skip_reason = SkipReason::kPostValidationQuorum;
   return false;
 }
 
@@ -179,6 +254,17 @@ struct PendingUpdate {
   std::vector<float> bn;    // BN running stats captured after training
   double scale = 1.0;       // staleness down-weight
   double tau = 1.0;         // local step count (FedNova) / K*lr (SCAFFOLD)
+
+  /// Semi-async late commit (DESIGN.md §11): the update was trained against
+  /// an earlier round's global weights, so delta-space algorithms carry the
+  /// precomputed update instead of absolute weights — `delta` holds the
+  /// normalized direction (FedNova) or displacement dw (SCAFFOLD), `aux`
+  /// SCAFFOLD's control-variate delta dc. FedAvg/FedProx late commits use
+  /// `flat` like fresh ones (absolute weights age gracefully under the
+  /// staleness discount).
+  bool late = false;
+  std::vector<float> delta;
+  std::vector<float> aux;
 };
 
 /// Aggregation weights over the accepted updates: sample-count times
@@ -235,6 +321,19 @@ void FedAvg::run_round(const std::vector<std::size_t>& selected) {
   std::vector<PendingUpdate> accepted;
   accepted.reserve(selected.size());
 
+  // Late commits merge first, in the buffer's deterministic order: parked
+  // absolute weights re-enter aggregation with the staleness discount and
+  // count toward the quorum like any other survivor.
+  for (auto& b : take_due_updates()) {
+    PendingUpdate up;
+    up.client = b.client;
+    up.scale = commit_scale(b);
+    up.late = true;
+    up.flat = std::move(b.values);
+    up.bn = std::move(b.bn);
+    accepted.push_back(std::move(up));
+  }
+
   for (const std::size_t i : selected) {
     load_global_into_worker();
     ledger_.add_downlink_floats(w_global.size());
@@ -248,6 +347,15 @@ void FedAvg::run_round(const std::vector<std::size_t>& selected) {
     up.client = i;
     up.flat = nn::flatten_values(worker_.all_params());
     const Delivery d = deliver_update(i, up.flat, w_global.size(), &w_global);
+    if (d.deferred) {
+      // Parked past the deadline: the validated absolute weights wait in
+      // the straggler buffer for their commit round.
+      BufferedUpdate b;
+      b.values = std::move(up.flat);
+      b.bn = flatten_bn_stats(worker_);
+      park_update(i, d, std::move(b));
+      continue;
+    }
     if (!d.accepted) continue;
     up.bn = flatten_bn_stats(worker_);
     up.scale = d.scale;
@@ -293,6 +401,17 @@ void FedProx::run_round(const std::vector<std::size_t>& selected) {
   std::vector<PendingUpdate> accepted;
   accepted.reserve(selected.size());
 
+  // Late commits first (see FedAvg): same absolute-weight replay.
+  for (auto& b : take_due_updates()) {
+    PendingUpdate up;
+    up.client = b.client;
+    up.scale = commit_scale(b);
+    up.late = true;
+    up.flat = std::move(b.values);
+    up.bn = std::move(b.bn);
+    accepted.push_back(std::move(up));
+  }
+
   const auto hook = make_proximal_hook(w_global, config_.fedprox_mu);
   for (const std::size_t i : selected) {
     load_global_into_worker();
@@ -307,6 +426,15 @@ void FedProx::run_round(const std::vector<std::size_t>& selected) {
     up.client = i;
     up.flat = nn::flatten_values(worker_.all_params());
     const Delivery d = deliver_update(i, up.flat, w_global.size(), &w_global);
+    if (d.deferred) {
+      // Parked past the deadline: the validated absolute weights wait in
+      // the straggler buffer for their commit round.
+      BufferedUpdate b;
+      b.values = std::move(up.flat);
+      b.bn = flatten_bn_stats(worker_);
+      park_update(i, d, std::move(b));
+      continue;
+    }
     if (!d.accepted) continue;
     up.bn = flatten_bn_stats(worker_);
     up.scale = d.scale;
@@ -353,6 +481,22 @@ void FedNova::run_round(const std::vector<std::size_t>& selected) {
   std::vector<PendingUpdate> accepted;
   accepted.reserve(selected.size());
 
+  // Late commits first: a parked FedNova update carries the normalized
+  // direction d_i = (w_base - w_i)/tau computed against its own training
+  // base, so replaying it against today's weights applies the same descent
+  // direction (staleness-discounted) rather than dragging the model toward
+  // a stale absolute point.
+  for (auto& b : take_due_updates()) {
+    PendingUpdate up;
+    up.client = b.client;
+    up.scale = commit_scale(b);
+    up.late = true;
+    up.tau = b.tau;
+    up.delta = std::move(b.values);
+    up.bn = std::move(b.bn);
+    accepted.push_back(std::move(up));
+  }
+
   for (const std::size_t i : selected) {
     load_global_into_worker();
     ledger_.add_downlink_floats(w_global.size());
@@ -372,6 +516,18 @@ void FedNova::run_round(const std::vector<std::size_t>& selected) {
     // reference implementation ships alongside (~2x FedAvg per round).
     const Delivery d =
         deliver_update(i, up.flat, 2 * w_global.size(), &w_global);
+    if (d.deferred) {
+      BufferedUpdate b;
+      b.tau = up.tau;
+      b.values.resize(w_global.size());
+      for (std::size_t j = 0; j < w_global.size(); ++j) {
+        b.values[j] =
+            float((double(w_global[j]) - double(up.flat[j])) / up.tau);
+      }
+      b.bn = flatten_bn_stats(worker_);
+      park_update(i, d, std::move(b));
+      continue;
+    }
     if (!d.accepted) continue;
     up.bn = flatten_bn_stats(worker_);
     up.scale = d.scale;
@@ -390,10 +546,14 @@ void FedNova::run_round(const std::vector<std::size_t>& selected) {
     std::vector<RobustUpdate> ups(accepted.size());
     for (std::size_t s = 0; s < accepted.size(); ++s) {
       const auto& up = accepted[s];
-      deltas[s].resize(w_global.size());
-      for (std::size_t j = 0; j < w_global.size(); ++j) {
-        deltas[s][j] =
-            float((double(w_global[j]) - double(up.flat[j])) / up.tau);
+      if (up.late) {
+        deltas[s] = up.delta;  // normalized against its own training base
+      } else {
+        deltas[s].resize(w_global.size());
+        for (std::size_t j = 0; j < w_global.size(); ++j) {
+          deltas[s][j] =
+              float((double(w_global[j]) - double(up.flat[j])) / up.tau);
+        }
       }
       ups[s] = {up.client, weights[s], &deltas[s], nullptr};
     }
@@ -422,8 +582,12 @@ void FedNova::run_round(const std::vector<std::size_t>& selected) {
   double tau_eff = 0.0;
   for (std::size_t s = 0; s < accepted.size(); ++s) {
     const auto& up = accepted[s];
-    for (std::size_t j = 0; j < up.flat.size(); ++j) {
-      d_accum[j] += float(weights[s] / up.tau) * (w_global[j] - up.flat[j]);
+    if (up.late) {
+      axpy(d_accum, up.delta, float(weights[s]));
+    } else {
+      for (std::size_t j = 0; j < up.flat.size(); ++j) {
+        d_accum[j] += float(weights[s] / up.tau) * (w_global[j] - up.flat[j]);
+      }
     }
     axpy(bn_accum, up.bn, float(weights[s]));
     tau_eff += weights[s] * up.tau;
@@ -448,6 +612,24 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
   const std::vector<float> w_global = nn::flatten_values(views);
   std::vector<PendingUpdate> accepted;
   accepted.reserve(selected.size());
+
+  // Late commits first. A parked SCAFFOLD update carries the displacement
+  // dw = w_i - w_base and the control delta dc, both against its training
+  // base, and its c_i commit was deferred with the rest of the update: the
+  // variate stays transactional across the buffering gap and catches up
+  // only when the update actually lands (tolerating late commits without
+  // double-counting drift).
+  for (auto& b : take_due_updates()) {
+    PendingUpdate up;
+    up.client = b.client;
+    up.scale = commit_scale(b);
+    up.late = true;
+    up.tau = b.tau;
+    up.delta = std::move(b.values);
+    up.aux = std::move(b.aux);
+    up.bn = std::move(b.bn);
+    accepted.push_back(std::move(up));
+  }
 
   for (const std::size_t i : selected) {
     auto& c_i = client_c_[i];
@@ -484,6 +666,23 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
     // committed, matching a client that re-syncs on its next participation.
     const Delivery d =
         deliver_update(i, up.flat, 2 * w_global.size(), &w_global);
+    if (d.deferred) {
+      // Park dw/dc computed against this round's base; c_i is NOT advanced
+      // here — it commits with the buffered dc at the commit round.
+      BufferedUpdate b;
+      b.tau = up.tau;
+      b.values.resize(w_global.size());
+      b.aux.resize(w_global.size());
+      for (std::size_t j = 0; j < w_global.size(); ++j) {
+        b.values[j] = up.flat[j] - w_global[j];
+        const float c_new = c_i[j] - server_c_[j] +
+                            float((w_global[j] - up.flat[j]) / up.tau);
+        b.aux[j] = c_new - c_i[j];
+      }
+      b.bn = flatten_bn_stats(worker_);
+      park_update(i, d, std::move(b));
+      continue;
+    }
     if (!d.accepted) continue;
     up.bn = flatten_bn_stats(worker_);
     up.scale = d.scale;
@@ -504,14 +703,23 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
     std::vector<RobustUpdate> dw_ups(accepted.size());
     for (std::size_t s = 0; s < accepted.size(); ++s) {
       const auto& up = accepted[s];
-      const auto& c_i = client_c_[up.client];
       dw[s].resize(w_global.size());
       dc[s].resize(w_global.size());
-      for (std::size_t j = 0; j < w_global.size(); ++j) {
-        dw[s][j] = float(up.scale) * (up.flat[j] - w_global[j]);
-        const float c_new = c_i[j] - server_c_[j] +
-                            float((w_global[j] - up.flat[j]) / up.tau);
-        dc[s][j] = c_new - c_i[j];
+      if (up.late) {
+        // Buffered displacement/variate deltas, staleness-scaled like the
+        // fresh path scales dw by the synchronous stale_weight.
+        for (std::size_t j = 0; j < w_global.size(); ++j) {
+          dw[s][j] = float(up.scale) * up.delta[j];
+          dc[s][j] = up.aux[j];
+        }
+      } else {
+        const auto& c_i = client_c_[up.client];
+        for (std::size_t j = 0; j < w_global.size(); ++j) {
+          dw[s][j] = float(up.scale) * (up.flat[j] - w_global[j]);
+          const float c_new = c_i[j] - server_c_[j] +
+                              float((w_global[j] - up.flat[j]) / up.tau);
+          dc[s][j] = c_new - c_i[j];
+        }
       }
       dw_ups[s] = {up.client, 1.0, &dw[s], nullptr};
     }
@@ -524,6 +732,7 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
       if (is_excluded(dw_out.excluded, accepted[s].client)) continue;
       dc_ups.push_back({accepted[s].client, 1.0, &dc[s], nullptr});
       auto& c_i = client_c_[accepted[s].client];
+      if (c_i.empty()) c_i.assign(w_global.size(), 0.0f);
       for (std::size_t j = 0; j < w_global.size(); ++j) c_i[j] += dc[s][j];
       ++kept;
     }
@@ -554,6 +763,18 @@ void Scaffold::run_round(const std::vector<std::size_t>& selected) {
   std::vector<float> bn_accum(flatten_bn_stats(global_).size(), 0.0f);
   for (const auto& up : accepted) {
     auto& c_i = client_c_[up.client];
+    if (c_i.empty()) c_i.assign(w_global.size(), 0.0f);
+    if (up.late) {
+      // Deferred transactional commit: the parked dc advances c_i now, and
+      // the staleness-discounted dw joins the displacement mean.
+      for (std::size_t j = 0; j < w_global.size(); ++j) {
+        dc_accum[j] += up.aux[j];
+        dw_accum[j] += float(up.scale) * up.delta[j];
+        c_i[j] += up.aux[j];
+      }
+      axpy(bn_accum, up.bn, 1.0f / float(accepted.size()));
+      continue;
+    }
     // Option II of the SCAFFOLD paper (eq. 10 here):
     // c_i+ = c_i - c + (w_global - w_i) / (K * lr)
     for (std::size_t j = 0; j < w_global.size(); ++j) {

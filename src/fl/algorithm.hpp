@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "data/train.hpp"
+#include "fl/async.hpp"
 #include "fl/checkpoint.hpp"
 #include "fl/comm.hpp"
 #include "fl/environment.hpp"
@@ -76,6 +77,24 @@ class FederatedAlgorithm {
   void clear_fault_injection();
   bool fault_path_active() const { return defended_; }
 
+  /// Install the semi-asynchronous straggler policy (runner-managed): past-
+  /// deadline clients are parked in the straggler buffer and commit late
+  /// with a staleness discount instead of being same-round down-weighted or
+  /// rejected (DESIGN.md §11). Only honored by algorithms that override
+  /// supports_async(); everything else keeps the synchronous policy.
+  void set_async(const AsyncConfig& async);
+  void clear_async();
+  const AsyncConfig& async_config() const { return async_; }
+  /// True when this algorithm's run_round can park and replay deferred
+  /// updates (the four baselines and SPATL).
+  virtual bool supports_async() const { return false; }
+  /// Parked updates that would commit at `round` (quorum admission input).
+  std::size_t buffered_due(std::size_t round) const {
+    return buffer_.due_count(round);
+  }
+  /// Current straggler-buffer occupancy.
+  std::size_t buffered_total() const { return buffer_.size(); }
+
   /// Reset per-round statistics, seed them with the runner's admission
   /// counts, and set the round index that keys fault decisions. Called by
   /// the runner before run_round().
@@ -96,7 +115,12 @@ class FederatedAlgorithm {
   /// Outcome of one client's simulated uplink + server-side vetting.
   struct Delivery {
     bool accepted = true;
-    double scale = 1.0;  // aggregation down-weight (stale stragglers)
+    /// Semi-async path: the update passed vetting but the client's virtual
+    /// compute time runs past this round's deadline — the caller must park
+    /// it via park_update() for the commit round instead of aggregating.
+    bool deferred = false;
+    std::size_t lag = 0;  // rounds until the deferred update commits
+    double scale = 1.0;   // aggregation down-weight (stale stragglers)
     RejectReason reason = RejectReason::kNone;
   };
 
@@ -110,10 +134,30 @@ class FederatedAlgorithm {
                           std::size_t uplink_floats,
                           const std::vector<float>* reference = nullptr);
 
-  /// Aggregation-time quorum gate: true when `accepted_count` updates are
-  /// enough to apply the round; otherwise records the round as skipped (the
+  /// Aggregation-time quorum gate over the post-validation survivor set
+  /// (fresh accepted updates plus this round's late commits): true when
+  /// `accepted_count` updates are enough to apply the round; otherwise
+  /// records the round as skipped with post-validation attribution (the
   /// caller must leave the global model untouched).
   bool quorum_met(std::size_t accepted_count);
+
+  /// True when the semi-async buffer governs this round's stragglers
+  /// (async installed + supported + a fault model with a live deadline).
+  bool async_active() const;
+
+  /// Park a deferred update (Delivery::deferred) for its commit round; the
+  /// client id and source/commit rounds are filled in here. The caller
+  /// provides the algorithm-specific payload fields of `update`.
+  void park_update(std::size_t client, const Delivery& d,
+                   BufferedUpdate update);
+
+  /// Pop the buffered updates committing this round, in the buffer's
+  /// deterministic order. Updates stats and async metrics.
+  std::vector<BufferedUpdate> take_due_updates();
+
+  /// Staleness discount for a buffered update committing this round:
+  /// stale_weight^(current round - source round).
+  double commit_scale(const BufferedUpdate& update) const;
 
   /// True when a non-default robust aggregator is configured. The
   /// kWeightedMean default keeps each algorithm's original fused
@@ -142,6 +186,8 @@ class FederatedAlgorithm {
   std::unique_ptr<RobustAggregator> robust_;  // built from resilience_
   RoundStats stats_;
   std::size_t fault_round_ = 0;
+  AsyncConfig async_;        // disabled by default (synchronous policy)
+  StragglerBuffer buffer_;   // parked straggler updates (serialized)
 };
 
 // ---------------------------------------------------------------------------
@@ -150,6 +196,7 @@ class FedAvg : public FederatedAlgorithm {
  public:
   using FederatedAlgorithm::FederatedAlgorithm;
   std::string name() const override { return "fedavg"; }
+  bool supports_async() const override { return true; }
   void run_round(const std::vector<std::size_t>& selected) override;
 };
 
@@ -157,6 +204,7 @@ class FedProx : public FederatedAlgorithm {
  public:
   using FederatedAlgorithm::FederatedAlgorithm;
   std::string name() const override { return "fedprox"; }
+  bool supports_async() const override { return true; }
   void run_round(const std::vector<std::size_t>& selected) override;
 };
 
@@ -164,6 +212,7 @@ class FedNova : public FederatedAlgorithm {
  public:
   using FederatedAlgorithm::FederatedAlgorithm;
   std::string name() const override { return "fednova"; }
+  bool supports_async() const override { return true; }
   void run_round(const std::vector<std::size_t>& selected) override;
 };
 
@@ -171,6 +220,7 @@ class Scaffold : public FederatedAlgorithm {
  public:
   Scaffold(FlEnvironment& env, FlConfig config);
   std::string name() const override { return "scaffold"; }
+  bool supports_async() const override { return true; }
   void run_round(const std::vector<std::size_t>& selected) override;
   void save_state(RunCheckpoint& out) override;
   void load_state(const RunCheckpoint& in) override;

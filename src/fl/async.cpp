@@ -1,0 +1,136 @@
+#include "fl/async.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace spatl::fl {
+
+std::size_t straggler_lag(double compute_time, double round_deadline) {
+  if (round_deadline <= 0.0 || compute_time <= round_deadline) return 0;
+  // How many whole deadlines the client needs, minus the one it already had.
+  // Bounded so a pathological compute-time draw cannot overflow the cast;
+  // anything this large is beyond every sane max_lag anyway.
+  const double periods =
+      std::min(std::ceil(compute_time / round_deadline), 1.0e6);
+  return std::max<std::size_t>(1, std::size_t(periods) - 1);
+}
+
+double staleness_scale(double stale_weight, std::size_t lag) {
+  if (lag == 0) return 1.0;
+  return std::pow(stale_weight, double(lag));
+}
+
+namespace {
+
+/// Strict weak order giving the buffer its deterministic merge sequence.
+bool before(const BufferedUpdate& a, const BufferedUpdate& b) {
+  if (a.commit_round != b.commit_round) return a.commit_round < b.commit_round;
+  if (a.source_round != b.source_round) return a.source_round < b.source_round;
+  return a.client < b.client;
+}
+
+}  // namespace
+
+void StragglerBuffer::park(BufferedUpdate update) {
+  SPATL_DCHECK(update.commit_round > update.source_round);
+  const auto pos =
+      std::upper_bound(entries_.begin(), entries_.end(), update, before);
+  entries_.insert(pos, std::move(update));
+}
+
+std::vector<BufferedUpdate> StragglerBuffer::take_due(std::size_t round) {
+  // Entries are sorted by commit_round first, so the due set is a prefix.
+  std::size_t n = 0;
+  while (n < entries_.size() && entries_[n].commit_round <= round) ++n;
+  std::vector<BufferedUpdate> due(
+      std::make_move_iterator(entries_.begin()),
+      std::make_move_iterator(entries_.begin() + std::ptrdiff_t(n)));
+  entries_.erase(entries_.begin(), entries_.begin() + std::ptrdiff_t(n));
+  return due;
+}
+
+std::size_t StragglerBuffer::due_count(std::size_t round) const {
+  std::size_t n = 0;
+  while (n < entries_.size() && entries_[n].commit_round <= round) ++n;
+  return n;
+}
+
+void StragglerBuffer::save(RunCheckpoint& out,
+                           const std::string& prefix) const {
+  if (entries_.empty()) return;  // pre-async checkpoints stay byte-identical
+  out.entries.push_back(
+      pack_u64s(prefix + "n", {std::uint64_t(entries_.size())}));
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    const BufferedUpdate& e = entries_[k];
+    const std::string base = prefix + std::to_string(k) + "/";
+    out.entries.push_back(pack_u64s(
+        base + "meta", {std::uint64_t(e.client), std::uint64_t(e.source_round),
+                        std::uint64_t(e.commit_round)}));
+    out.entries.push_back(pack_doubles(base + "tau", {e.tau}));
+    if (!e.values.empty()) {
+      out.entries.push_back(pack_floats(base + "values", e.values));
+    }
+    if (!e.bn.empty()) out.entries.push_back(pack_floats(base + "bn", e.bn));
+    if (!e.aux.empty()) out.entries.push_back(pack_floats(base + "aux", e.aux));
+    if (!e.mask.empty()) {
+      std::vector<float> m(e.mask.begin(), e.mask.end());
+      out.entries.push_back(pack_floats(base + "mask", m));
+    }
+  }
+}
+
+void StragglerBuffer::load(const RunCheckpoint& in, const std::string& prefix) {
+  entries_.clear();
+  const tensor::Tensor* n = in.find(prefix + "n");
+  if (n == nullptr) return;  // checkpoint predates async or buffer was empty
+  const std::size_t count = std::size_t(unpack_u64s(*n)[0]);
+  entries_.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::string base = prefix + std::to_string(k) + "/";
+    BufferedUpdate e;
+    const auto meta = unpack_u64s(in.at(base + "meta"));
+    e.client = std::size_t(meta[0]);
+    e.source_round = std::size_t(meta[1]);
+    e.commit_round = std::size_t(meta[2]);
+    e.tau = unpack_doubles(in.at(base + "tau"))[0];
+    if (const auto* t = in.find(base + "values")) e.values = unpack_floats(*t);
+    if (const auto* t = in.find(base + "bn")) e.bn = unpack_floats(*t);
+    if (const auto* t = in.find(base + "aux")) e.aux = unpack_floats(*t);
+    if (const auto* t = in.find(base + "mask")) {
+      const auto m = unpack_floats(*t);
+      e.mask.assign(m.size(), 0);
+      for (std::size_t j = 0; j < m.size(); ++j) {
+        e.mask[j] = std::uint8_t(m[j] != 0.0f);
+      }
+    }
+    // Entries were saved in buffer order, which is already the
+    // (commit_round, source_round, client) order park() maintains.
+    entries_.push_back(std::move(e));
+  }
+}
+
+bool EscalationTracker::observe(const RoundStats& stats) {
+  if (!config_.enabled || active_) return false;
+  if (stats.skipped) return false;  // nothing aggregated, nothing learned
+  // Robust rules surface suspicion as exclusions/clips; the plain mean has
+  // only validation to go on, so rejected updates count toward the trend —
+  // otherwise a mean -> median escalation could never trigger.
+  const std::size_t suspicious = stats.suspects.size() + stats.clipped +
+                                 stats.rejected_non_finite +
+                                 stats.rejected_norm;
+  const double base = double(std::max<std::size_t>(1, stats.delivered));
+  if (double(suspicious) / base >= config_.suspect_threshold) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+  }
+  if (streak_ >= std::max<std::size_t>(1, config_.patience)) {
+    active_ = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace spatl::fl

@@ -81,6 +81,15 @@ const char* reject_reason_name(RejectReason reason) {
   return "unknown";
 }
 
+const char* skip_reason_name(SkipReason reason) {
+  switch (reason) {
+    case SkipReason::kNone: return "none";
+    case SkipReason::kAdmissionQuorum: return "admission_quorum";
+    case SkipReason::kPostValidationQuorum: return "post_validation_quorum";
+  }
+  return "unknown";
+}
+
 FaultModel::FaultModel(FaultConfig config) : config_(std::move(config)) {
   auto check_rate = [](double r, const char* what) {
     if (r < 0.0 || r > 1.0) {
@@ -166,6 +175,10 @@ ClientFault FaultModel::assess(std::size_t round, std::size_t client) const {
   f.compute_time = config_.compute_time_mean *
                    std::exp(config_.compute_time_jitter * rng.normal());
   if (slow) f.compute_time *= config_.slowdown_factor;
+  // Classification only — kStraggler never rejects by itself. The policy
+  // (same-round down-weight, semi-async late commit, or kDeadline when
+  // neither applies) is decided at delivery time from ResilienceConfig /
+  // AsyncConfig; see FederatedAlgorithm::deliver_update.
   if (config_.round_deadline > 0.0 &&
       f.compute_time > config_.round_deadline) {
     f.fate = ClientFate::kStraggler;

@@ -100,10 +100,27 @@ enum class RejectReason {
   kNonFinite,  // NaN/Inf detected by update validation
   kNormBound,  // update norm exceeded ResilienceConfig::max_update_norm
   kLost,       // all transmission attempts failed
-  kDeadline,   // straggler past the deadline with stale_weight == 0
+  /// Straggler whose update could be neither down-weighted nor buffered:
+  /// on the synchronous path this fires only when stale_weight == 0 (any
+  /// positive stale_weight down-weights instead); on the semi-async path it
+  /// fires only when the required lag exceeds AsyncConfig::max_lag (within
+  /// the lag budget the update is parked and commits late).
+  kDeadline,
 };
 
 const char* reject_reason_name(RejectReason reason);
+
+/// Which gate skipped a round (attribution for RoundStats::skipped).
+enum class SkipReason {
+  kNone,
+  /// Too few available clients after admission (pre-validation).
+  kAdmissionQuorum,
+  /// Enough clients started, but server-side validation rejected updates
+  /// down to below min_quorum (post-validation survivor set).
+  kPostValidationQuorum,
+};
+
+const char* skip_reason_name(SkipReason reason);
 
 /// Server-side defense policy (meaningful with or without fault injection).
 struct ResilienceConfig {
@@ -117,8 +134,11 @@ struct ResilienceConfig {
   /// Minimum accepted updates required to apply aggregation; below this the
   /// round is skipped and the global model is left untouched.
   std::size_t min_quorum = 1;
-  /// Aggregation weight multiplier for stragglers that miss the deadline;
-  /// 0 rejects their updates outright (RejectReason::kDeadline).
+  /// Synchronous staleness policy: aggregation weight multiplier for
+  /// stragglers that miss the deadline; 0 rejects their updates outright
+  /// (RejectReason::kDeadline). Superseded by AsyncConfig::stale_weight when
+  /// the semi-asynchronous buffer is installed (stragglers then commit late
+  /// instead of being down-weighted in the same round).
   double stale_weight = 0.5;
 
   /// Byzantine-robust aggregation rule applied to the accepted updates.
@@ -210,8 +230,22 @@ struct RoundStats {
   std::size_t rejected_lost = 0;
   std::size_t rejected_deadline = 0;
   std::size_t retransmissions = 0;  // extra transmission attempts
+
+  // --- semi-asynchronous buffering (zeros when async is off) -------------
+  /// Straggler updates parked this round for a later commit.
+  std::size_t parked = 0;
+  /// Buffered updates from earlier rounds that committed this round.
+  std::size_t late_commits = 0;
+  /// Buffer occupancy after this round's parks and commits.
+  std::size_t buffer_depth = 0;
+
   /// True when the round was skipped (admission or post-validation quorum).
   bool skipped = false;
+  /// Which quorum gate skipped it (kNone when !skipped).
+  SkipReason skip_reason = SkipReason::kNone;
+  /// True when the round aggregated under an escalated robust rule
+  /// (EscalationTracker tripped in an earlier round).
+  bool escalated = false;
   /// True when the divergence guard rolled the round back and re-aggregated
   /// with the fallback robust rule.
   bool rolled_back = false;

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace spatl::fl {
@@ -31,8 +32,27 @@ void accumulate(RunResult& result, const RoundStats& stats) {
   result.total_retransmissions += stats.retransmissions;
   result.total_attacked += stats.attackers.size();
   result.total_suspected += stats.suspects.size();
+  result.total_parked += stats.parked;
+  result.total_late_commits += stats.late_commits;
   if (stats.skipped) ++result.rounds_skipped;
   if (stats.rolled_back) ++result.rounds_rolled_back;
+  if (stats.escalated) ++result.rounds_escalated;
+}
+
+/// Distribution bounds (ms) for the per-phase latency histograms exported
+/// through MetricsRegistry alongside the per-round JSONL phase totals.
+const std::vector<double>& phase_latency_bounds_ms() {
+  static const std::vector<double> kBounds = {
+      0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0,
+      5000.0};
+  return kBounds;
+}
+
+/// True for the round phases whose latency distribution is worth a
+/// histogram (training, uplink simulation, aggregation, buffer drain).
+bool histogram_phase(const std::string& name) {
+  return name == "fl/train" || name == "fl/uplink" ||
+         name == "fl/aggregate" || name == "fl/buffer";
 }
 
 bool contains(const std::vector<std::size_t>& v, std::size_t x) {
@@ -84,10 +104,19 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   const bool defended = opts.faults.has_value() || opts.resilience.has_value();
   const ResilienceConfig resilience =
       opts.resilience ? *opts.resilience : ResilienceConfig{};
+  // The policy actually installed this round: starts at `resilience` and is
+  // upgraded in place when the escalation tracker trips (sticky).
+  ResilienceConfig current = resilience;
   const std::size_t quorum = std::max<std::size_t>(1, resilience.min_quorum);
   if (defended) {
-    algo.set_fault_injection(faults ? &*faults : nullptr, resilience);
+    algo.set_fault_injection(faults ? &*faults : nullptr, current);
   }
+  // Semi-async straggler commit: only live when the algorithm can park and
+  // replay updates; everything else keeps the synchronous staleness policy.
+  const bool async_on =
+      opts.async.has_value() && opts.async->enabled && algo.supports_async();
+  if (async_on) algo.set_async(*opts.async);
+  EscalationTracker escalation(opts.escalation);
   const bool guard = opts.divergence_factor > 0.0;
 
   // Per-client failure EMA for fault-aware sampling (satellite): dropped,
@@ -117,10 +146,25 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
     result.total_attacked = std::size_t(totals[7]);
     result.total_suspected = std::size_t(totals[8]);
     result.rounds_rolled_back = std::size_t(totals[9]);
+    if (totals.size() >= 13) {  // pre-async checkpoints carry 10 entries
+      result.total_parked = std::size_t(totals[10]);
+      result.total_late_commits = std::size_t(totals[11]);
+      result.rounds_escalated = std::size_t(totals[12]);
+    }
     const auto series = unpack_doubles(ckpt.at("run/series"));
     result.best_accuracy = series[0];
     result.final_accuracy = series[1];
     prev_loss = series[2];
+    if (const auto* esc = ckpt.find("run/escalation")) {
+      const auto state = unpack_u64s(*esc);
+      escalation.restore(std::size_t(state[0]), state[1] != 0);
+      if (escalation.active() && defended) {
+        // Re-arm the escalated rule the interrupted run was aggregating
+        // with, so the resumed rounds stay bit-identical.
+        current.aggregator = opts.escalation.aggregator;
+        algo.set_fault_injection(faults ? &*faults : nullptr, current);
+      }
+    }
   }
 
   obs::Tracer& tracer = obs::Tracer::instance();
@@ -188,13 +232,19 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
 
       stats = admission;
       std::optional<EvalSummary> guard_eval;
-      if (active.size() < quorum) {
+      // Admission gate: buffered updates due this round count toward the
+      // quorum — a round carried by late commits alone is still a round.
+      const std::size_t due = async_on ? algo.buffered_due(round) : 0;
+      if (active.size() + due < quorum) {
         // Not enough live participants to even start: skip the round and
-        // leave the global model untouched.
+        // leave the global model untouched (parked updates stay buffered
+        // and drain in the next round that clears admission).
         stats.skipped = true;
+        stats.skip_reason = SkipReason::kAdmissionQuorum;
+        stats.buffer_depth = algo.buffered_total();
         common::log_debug(algo.name(), " round ", round,
-                          " skipped below quorum (", active.size(), "/",
-                          quorum, ")");
+                          " skipped below quorum (", active.size(), "+", due,
+                          "/", quorum, ")");
       } else {
         // Pre-round snapshot for the divergence guard: algorithm state plus
         // ledger counters, so a rolled-back round leaves no trace (bytes are
@@ -221,7 +271,7 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
                               aggregator_kind_name(opts.divergence_fallback));
             algo.load_state(snapshot);
             algo.ledger().restore(ledger_snap);
-            ResilienceConfig fallback = resilience;
+            ResilienceConfig fallback = current;
             fallback.aggregator = opts.divergence_fallback;
             algo.set_fault_injection(faults ? &*faults : nullptr, fallback);
             algo.begin_round(round, admission);
@@ -229,8 +279,7 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
             stats = algo.round_stats();
             stats.rolled_back = true;
             if (defended) {
-              algo.set_fault_injection(faults ? &*faults : nullptr,
-                                       resilience);
+              algo.set_fault_injection(faults ? &*faults : nullptr, current);
             } else {
               algo.clear_fault_injection();
             }
@@ -239,6 +288,17 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
           prev_loss = eval.avg_loss;
           guard_eval = eval;
         }
+      }
+      // Adaptive escalation (defended path only): this round ran under the
+      // rule selected so far; its stats then feed the tracker, and a trip
+      // upgrades the aggregator for every round that follows (one-way).
+      stats.escalated = defended && escalation.active();
+      if (defended && escalation.observe(stats)) {
+        current.aggregator = opts.escalation.aggregator;
+        algo.set_fault_injection(faults ? &*faults : nullptr, current);
+        common::log_debug(algo.name(), " round ", round,
+                          " escalating aggregator to ",
+                          aggregator_kind_name(current.aggregator));
       }
       accumulate(result, stats);
 
@@ -297,10 +357,16 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
              std::uint64_t(result.rounds_skipped),
              std::uint64_t(result.total_attacked),
              std::uint64_t(result.total_suspected),
-             std::uint64_t(result.rounds_rolled_back)}));
+             std::uint64_t(result.rounds_rolled_back),
+             std::uint64_t(result.total_parked),
+             std::uint64_t(result.total_late_commits),
+             std::uint64_t(result.rounds_escalated)}));
         ckpt.entries.push_back(pack_doubles(
             "run/series",
             {result.best_accuracy, result.final_accuracy, prev_loss}));
+        ckpt.entries.push_back(pack_u64s(
+            "run/escalation", {std::uint64_t(escalation.streak()),
+                               std::uint64_t(escalation.active() ? 1 : 0)}));
         if (!opts.checkpoint_path.empty()) ckpt.save(opts.checkpoint_path);
         result.last_checkpoint = std::move(ckpt);
         ++result.checkpoints_written;
@@ -328,13 +394,23 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
           .add("rejected", std::uint64_t(stats.rejected_total()))
           .add("retransmissions", std::uint64_t(stats.retransmissions))
           .add("clipped", std::uint64_t(stats.clipped))
+          .add("parked", std::uint64_t(stats.parked))
+          .add("late_commits", std::uint64_t(stats.late_commits))
+          .add("buffer_depth", std::uint64_t(stats.buffer_depth))
           .add("skipped", stats.skipped)
           .add("rolled_back", stats.rolled_back)
+          .add("escalated", stats.escalated)
           .add_raw("attackers", ids_array(stats.attackers))
           .add_raw("suspects", ids_array(stats.suspects))
           .add_raw("comm", comm.str());
+      if (stats.skipped) {
+        rec.add("skip_reason", skip_reason_name(stats.skip_reason));
+      }
       if (stats.rolled_back) {
         rec.add("fallback", aggregator_kind_name(opts.divergence_fallback));
+      }
+      if (stats.escalated) {
+        rec.add("aggregator", aggregator_kind_name(current.aggregator));
       }
       if (round_eval) {
         rec.add_raw("eval",
@@ -345,11 +421,23 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       }
       if (tracer.enabled()) {
         obs::JsonObject phases;
+        auto& registry = obs::MetricsRegistry::instance();
         for (const auto& phase : tracer.phase_totals(trace_start)) {
           phases.add_raw(phase.name, obs::JsonObject()
                                          .add("total_ns", phase.total_ns)
                                          .add("count", phase.count)
                                          .str());
+          // Cumulative per-phase latency distribution (one sample per
+          // telemetry round) — lands in the end-of-run "metrics" record of
+          // the same JSONL stream via metrics_object().
+          if (histogram_phase(phase.name)) {
+            std::string metric = phase.name;
+            for (char& c : metric) {
+              if (c == '/') c = '.';
+            }
+            registry.histogram(metric + ".round_ms", phase_latency_bounds_ms())
+                .record(double(phase.total_ns) / 1.0e6);
+          }
         }
         rec.add_raw("phases", phases.str());
       }
@@ -360,6 +448,8 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   result.comm = algo.ledger().snapshot();
   result.total_bytes = result.comm.total();
   result.retransmitted_bytes = result.comm.retransmitted;
+  result.buffered_remaining = algo.buffered_total();
+  if (async_on) algo.clear_async();
   if (defended) algo.clear_fault_injection();
   return result;
 }

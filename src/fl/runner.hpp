@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fl/algorithm.hpp"
+#include "fl/async.hpp"
 #include "fl/checkpoint.hpp"
 #include "fl/comm.hpp"
 #include "fl/fault.hpp"
@@ -54,6 +55,20 @@ struct RunOptions {
   /// nullopt = defaults when `faults` is set; when neither is set the
   /// legacy undefended code path runs unchanged.
   std::optional<ResilienceConfig> resilience;
+
+  /// Semi-asynchronous straggler commit (DESIGN.md §11): past-deadline
+  /// clients are parked and commit `lag` rounds later with weight
+  /// stale_weight^lag instead of the synchronous same-round policy. Only
+  /// meaningful with `faults` set (the deadline comes from the fault
+  /// model's virtual compute times); nullopt or enabled=false leaves the
+  /// synchronous path bit-identical.
+  std::optional<AsyncConfig> async;
+
+  /// Adaptive aggregator escalation: once the suspicious-update fraction
+  /// stays above threshold for `patience` rounds, permanently switch the
+  /// aggregation rule to `escalation.aggregator` (mean -> median by
+  /// default). Only active on the defended path; disabled by default.
+  EscalationConfig escalation;
 
   /// Fault-aware client sampling: track a per-client failure EMA (dropped,
   /// lost, or rejected uplinks count as failures) and down-weight flaky
@@ -115,6 +130,15 @@ struct RunResult {
   std::size_t total_suspected = 0;     // robust-aggregator exclusions
   std::size_t rounds_rolled_back = 0;  // divergence-guard interventions
   std::size_t checkpoints_written = 0;
+
+  // Semi-async buffering totals (all zero with async off).
+  std::size_t total_parked = 0;        // straggler updates parked
+  std::size_t total_late_commits = 0;  // parked updates that committed
+  /// Updates still parked when the run ended (their bytes were paid but
+  /// they never reached aggregation).
+  std::size_t buffered_remaining = 0;
+  /// Rounds aggregated under the escalated rule (EscalationTracker).
+  std::size_t rounds_escalated = 0;
   /// The latest full-state snapshot (empty when checkpointing is off).
   RunCheckpoint last_checkpoint;
 

@@ -57,6 +57,11 @@ int usage() {
                "            nan|inf|bitflip] [--fault-loss F] [--fault-seed S]\n"
                "           [--fault-deadline T] [--max-retries N] [--quorum N]\n"
                "           [--max-update-norm F] [--stale-weight F]\n"
+               "           semi-async straggler commit / escalation:\n"
+               "           [--async] [--async-stale-weight F]\n"
+               "           [--async-max-lag N] [--escalate]\n"
+               "           [--escalate-threshold F] [--escalate-patience N]\n"
+               "           [--escalate-aggregator median|trimmed|krum|clipped]\n"
                "           Byzantine attacks / robust aggregation:\n"
                "           [--byz-fraction F] [--byz-attack signflip|scale|\n"
                "            noise|collude] [--byz-scale F] [--byz-noise F]\n"
@@ -195,6 +200,26 @@ int cmd_train(const common::Flags& flags) {
     ro.resilience = rc;
   }
 
+  // Semi-asynchronous straggler commit (DESIGN.md §11). Only meaningful
+  // alongside a --fault-deadline; harmless (bit-identical) otherwise.
+  if (flags.get_bool("async", false)) {
+    fl::AsyncConfig ac;
+    ac.enabled = true;
+    ac.stale_weight =
+        flags.get_double("async-stale-weight", ac.stale_weight);
+    ac.max_lag = std::size_t(flags.get_int("async-max-lag", int(ac.max_lag)));
+    ro.async = ac;
+  }
+  if (flags.get_bool("escalate", false)) {
+    ro.escalation.enabled = true;
+    ro.escalation.suspect_threshold = flags.get_double(
+        "escalate-threshold", ro.escalation.suspect_threshold);
+    ro.escalation.patience = std::size_t(
+        flags.get_int("escalate-patience", int(ro.escalation.patience)));
+    ro.escalation.aggregator = fl::parse_aggregator_kind(
+        flags.get("escalate-aggregator", "median"));
+  }
+
   ro.fault_aware_sampling = flags.get_bool("fault-aware-sampling", false);
   ro.fault_ema_decay =
       flags.get_double("fault-ema-decay", ro.fault_ema_decay);
@@ -241,6 +266,17 @@ int cmd_train(const common::Flags& flags) {
         result.total_stragglers, result.total_rejected,
         result.rounds_skipped, result.total_retransmissions,
         common::format_bytes(result.retransmitted_bytes).c_str());
+    if (result.total_parked > 0 || result.buffered_remaining > 0) {
+      std::printf(
+          "semi-async: %zu parked, %zu committed late, %zu still buffered "
+          "at exit\n",
+          result.total_parked, result.total_late_commits,
+          result.buffered_remaining);
+    }
+    if (result.rounds_escalated > 0) {
+      std::printf("escalation: %zu rounds under the escalated aggregator\n",
+                  result.rounds_escalated);
+    }
     if (result.total_attacked > 0 || result.total_suspected > 0 ||
         result.rounds_rolled_back > 0) {
       std::printf(

@@ -22,6 +22,11 @@
 //                   src/common/log.cpp and the src/obs exporters — ad-hoc
 //                   stderr writes bypass the log-level filter and interleave
 //                   with telemetry output.
+//   async-wallclock any clock machinery (<chrono> types, sleep_for, the
+//                   common/timer.hpp helper) inside src/fl/async.* — the
+//                   semi-async straggler buffer is keyed on simulated
+//                   virtual time only; a wall-clock read there would make
+//                   buffered runs machine-dependent.
 //
 // A file opts out of one rule with a comment of the form
 //   spatl-lint: allow(<rule>)        (inside any // or /* */ comment)
@@ -280,6 +285,32 @@ void check_raw_stderr(FileReport& f) {
   }
 }
 
+void check_async_wallclock(FileReport& f) {
+  if (f.rel.rfind("src/fl/async", 0) != 0) return;
+  // Stricter than chrono-now: in the semi-async buffer even naming a clock
+  // type is banned, because any time source other than the fault model's
+  // virtual compute_time would break bit-reproducible buffered runs.
+  for (const char* token : {"chrono", "steady_clock", "system_clock",
+                            "high_resolution_clock", "time_point",
+                            "sleep_for"}) {
+    for (std::size_t p : find_token(f.code, token)) {
+      f.add("async-wallclock", p,
+            std::string(token) +
+                " in src/fl/async — the straggler buffer runs on virtual "
+                "time only (FaultModel compute_time draws)");
+    }
+  }
+  // The include lives inside a string literal (blanked in f.code), so the
+  // raw text is the only place to catch it.
+  // Newlines survive stripping, so the raw position maps to the same line.
+  const std::size_t inc = f.raw.find("common/timer.hpp");
+  if (inc != std::string::npos) {
+    f.add("async-wallclock", inc,
+          "common/timer.hpp include in src/fl/async — timers are wall "
+          "clocks; key buffering on simulated compute_time instead");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -327,6 +358,7 @@ int main(int argc, char** argv) {
     check_pragma_once(f);
     check_raw_thread(f);
     check_raw_stderr(f);
+    check_async_wallclock(f);
   }
 
   for (const auto& v : violations) {
