@@ -24,6 +24,7 @@ namespace {
 struct Row {
   std::string mode;
   double stale_weight = 0.0;
+  std::size_t max_lag = 0;  // 0 = synchronous (no buffer)
   AlgoRun run;
 };
 
@@ -49,19 +50,22 @@ int main(int argc, char** argv) {
   const std::vector<std::string> algos = {"fedavg", "scaffold", "spatl"};
   const std::vector<double> deadlines = {1.5, 2.5};
   const std::vector<double> stale_weights = {0.3, 0.7};
+  // Lag-budget sweep for the buffered mode: a tight budget rejects parked
+  // updates past one round; a loose one drains nearly every straggler.
+  const std::vector<std::size_t> max_lags = {1, 4};
 
   common::CsvWriter csv(
       csv_path("bench_async"),
-      {"algorithm", "mode", "deadline", "stale_weight", "final_accuracy",
-       "best_accuracy", "acc_at_budget", "budget_bytes", "total_bytes",
-       "stragglers", "parked", "late_commits", "buffered_remaining",
-       "rejected", "rounds_skipped"});
+      {"algorithm", "mode", "deadline", "stale_weight", "max_lag",
+       "final_accuracy", "best_accuracy", "acc_at_budget", "budget_bytes",
+       "total_bytes", "stragglers", "parked", "late_commits",
+       "buffered_remaining", "rejected", "rounds_skipped"});
 
   const rl::PpoAgent& agent = shared_pretrained_agent();
 
   print_header("E-ASYNC: drop vs sync-stale vs buffered straggler commit");
-  std::printf("%-9s %-11s %5s %5s %7s %7s %9s %12s %6s %6s\n", "method",
-              "mode", "ddl", "sw", "best", "@budg", "budget", "bytes",
+  std::printf("%-9s %-11s %5s %5s %4s %7s %7s %9s %12s %6s %6s\n", "method",
+              "mode", "ddl", "sw", "lag", "best", "@budg", "budget", "bytes",
               "park", "late");
 
   for (const auto& algo : algos) {
@@ -84,13 +88,16 @@ int main(int argc, char** argv) {
       };
 
       std::vector<Row> rows;
-      rows.push_back({"drop", 0.0, run_mode(std::nullopt, 0.0)});
+      rows.push_back({"drop", 0.0, 0, run_mode(std::nullopt, 0.0)});
       for (const double sw : stale_weights) {
-        rows.push_back({"sync-stale", sw, run_mode(std::nullopt, sw)});
-        fl::AsyncConfig ac;
-        ac.enabled = true;
-        ac.stale_weight = sw;
-        rows.push_back({"async", sw, run_mode(ac, sw)});
+        rows.push_back({"sync-stale", sw, 0, run_mode(std::nullopt, sw)});
+        for (const std::size_t lag : max_lags) {
+          fl::AsyncConfig ac;
+          ac.enabled = true;
+          ac.stale_weight = sw;
+          ac.max_lag = lag;
+          rows.push_back({"async", sw, lag, run_mode(ac, sw)});
+        }
       }
 
       // Equal-bytes comparison: the tightest total budget in the group.
@@ -103,13 +110,14 @@ int main(int argc, char** argv) {
         const auto& res = r.run.result;
         const double at_budget = accuracy_at_budget(res, budget);
         std::printf(
-            "%-9s %-11s %5.1f %5.2f %6.1f%% %6.1f%% %9s %12s %6zu %6zu\n",
+            "%-9s %-11s %5.1f %5.2f %4zu %6.1f%% %6.1f%% %9s %12s %6zu "
+            "%6zu\n",
             algo.c_str(), r.mode.c_str(), deadline, r.stale_weight,
-            res.best_accuracy * 100.0, at_budget * 100.0,
+            r.max_lag, res.best_accuracy * 100.0, at_budget * 100.0,
             common::format_bytes(budget).c_str(),
             common::format_bytes(res.total_bytes).c_str(), res.total_parked,
             res.total_late_commits);
-        csv.row_values(algo, r.mode, deadline, r.stale_weight,
+        csv.row_values(algo, r.mode, deadline, r.stale_weight, r.max_lag,
                        res.final_accuracy, res.best_accuracy, at_budget,
                        budget, res.total_bytes, res.total_stragglers,
                        res.total_parked, res.total_late_commits,

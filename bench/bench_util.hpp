@@ -194,6 +194,10 @@ struct RunSpec {
   std::optional<fl::ResilienceConfig> resilience;
   /// Semi-async straggler commit (bench_async); unset = synchronous policy.
   std::optional<fl::AsyncConfig> async;
+  /// Elastic membership (bench_churn); unset = static population.
+  std::optional<fl::ChurnConfig> churn;
+  /// Per-round admission budget (bench_churn); unlimited by default.
+  fl::AdmissionConfig admission;
 };
 
 // --- shared resilience-bench baseline -------------------------------------
@@ -229,7 +233,7 @@ inline fl::FaultConfig make_resilience_faults() {
 inline fl::ResilienceConfig make_resilience_defenses() {
   fl::ResilienceConfig rc;
   rc.validate_updates = true;
-  rc.max_retries = 2;
+  rc.retry.max_retries = 2;
   rc.min_quorum = 2;
   return rc;
 }
@@ -265,6 +269,8 @@ inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
   ro.faults = spec.faults;
   ro.resilience = spec.resilience;
   ro.async = spec.async;
+  ro.churn = spec.churn;
+  ro.admission = spec.admission;
   ro.telemetry = g_telemetry_sink;
   ro.telemetry_every = g_telemetry_every;
 

@@ -10,7 +10,9 @@
 #       ctest, no sanitizers. The quick pre-commit loop. Default: build.
 #       New suites register through tests/CMakeLists.txt and ride along
 #       automatically (e.g. tests/test_async.cpp's semi-async buffer,
-#       quorum-attribution, and mid-buffer resume suites).
+#       quorum-attribution, and mid-buffer resume suites, and
+#       tests/test_churn.cpp's churn / admission / retry / failover /
+#       alert suites).
 #
 #   scripts/check.sh --thread [build-dir]  race tier: ThreadSanitizer build
 #       (TSan cannot be combined with ASan, so it gets its own tree) running

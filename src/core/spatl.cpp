@@ -136,6 +136,12 @@ std::vector<std::uint8_t> SpatlAlgorithm::upload_mask(
   return mask;
 }
 
+std::size_t SpatlAlgorithm::uplink_cost_floats() {
+  const std::size_t shared_dim = nn::param_count(
+      shared_views(global_, options_.transfer_learning));
+  return options_.gradient_control ? 2 * shared_dim : shared_dim;
+}
+
 void SpatlAlgorithm::run_round(const std::vector<std::size_t>& selected) {
   ++round_;
   auto global_shared = shared_views(global_, options_.transfer_learning);

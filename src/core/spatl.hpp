@@ -67,6 +67,10 @@ class SpatlAlgorithm : public fl::FederatedAlgorithm {
   /// aware robust aggregator) as a fresh one.
   bool supports_async() const override { return true; }
   void run_round(const std::vector<std::size_t>& selected) override;
+  /// Admission-budget estimate: the dense shared encoder (doubled when
+  /// gradient control ships deltas on the same positions) — a conservative
+  /// bound on the masked salient payload.
+  std::size_t uplink_cost_floats() override;
 
   /// SPATL deploys heterogeneous models: evaluation uses each client's own
   /// predictor and BN statistics with the current global encoder.

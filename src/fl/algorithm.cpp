@@ -47,6 +47,12 @@ void FederatedAlgorithm::clear_async() {
   buffer_.clear();
 }
 
+std::size_t FederatedAlgorithm::uplink_cost_floats() {
+  // Dense parameter vector — what FedAvg/FedProx actually pay per uplink.
+  // Control-carrying algorithms override with their 2x factor.
+  return nn::param_count(global_.all_params());
+}
+
 bool FederatedAlgorithm::async_active() const {
   return async_.enabled && supports_async() && fault_ != nullptr &&
          fault_->enabled() && fault_->config().round_deadline > 0.0;
@@ -58,11 +64,13 @@ void FederatedAlgorithm::park_update(std::size_t client, const Delivery& d,
   update.client = client;
   update.source_round = fault_round_;
   update.commit_round = fault_round_ + d.lag;
-  buffer_.park(std::move(update));
+  const std::size_t evicted = buffer_.park(std::move(update));
   ++stats_.parked;
+  stats_.dedup_dropped += evicted;
   stats_.buffer_depth = buffer_.size();
   auto& registry = obs::MetricsRegistry::instance();
   registry.counter("async.parked").increment();
+  if (evicted > 0) registry.counter("async.dedup_dropped").add(evicted);
   registry.gauge("async.buffer_depth").set(double(buffer_.size()));
   registry.histogram("async.lag", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0})
       .record(double(d.lag));
@@ -114,6 +122,7 @@ FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
     std::size_t uplink_floats, const std::vector<float>* reference) {
   SPATL_TRACE_SPAN("fl/uplink");
   Delivery d;
+  double backoff_wait = 0.0;
   ledger_.add_uplink_floats(uplink_floats);
   if (fault_ != nullptr && fault_->enabled()) {
     // Byzantine clients craft their payload before it leaves the device —
@@ -122,16 +131,20 @@ FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
       stats_.attackers.push_back(client);
     }
     const Transmission t =
-        fault_->transmit(fault_round_, client, resilience_.max_retries);
+        fault_->transmit(fault_round_, client, resilience_.retry);
     if (t.attempts > 1) {
       ledger_.add_uplink_retransmit_floats(uplink_floats * (t.attempts - 1));
       stats_.retransmissions += t.attempts - 1;
     }
+    backoff_wait = t.backoff_wait;
+    stats_.backoff_wait += t.backoff_wait;
     if (!t.delivered) {
+      // Retry budget exhausted: the client gives up on this round's uplink.
       d.accepted = false;
       d.reason = RejectReason::kLost;
       stats_.add(d.reason);
       stats_.rejected_clients.push_back(client);
+      stats_.giveups.push_back(client);
       return d;
     }
     fault_->corrupt(fault_round_, client, payload);
@@ -160,14 +173,21 @@ FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
   }
   if (d.accepted && fault_ != nullptr && fault_->enabled()) {
     const ClientFault cf = fault_->assess(fault_round_, client);
-    if (cf.fate == ClientFate::kStraggler) {
+    // Backoff waits spend the same virtual clock as local compute: a retry
+    // storm can push an otherwise-punctual client past the round deadline.
+    // Zero with backoff disabled, so the legacy straggler set is unchanged.
+    const double finish_time = cf.compute_time + backoff_wait;
+    const bool late = cf.fate == ClientFate::kStraggler ||
+                      (fault_->config().round_deadline > 0.0 &&
+                       finish_time > fault_->config().round_deadline);
+    if (late) {
       // Straggler policy, in order of preference: park for a late commit
       // (semi-async), down-weight in the same round (synchronous,
       // stale_weight > 0), reject (kDeadline) only when neither applies —
       // the contract RejectReason::kDeadline documents.
       if (async_active()) {
         const std::size_t lag =
-            straggler_lag(cf.compute_time, fault_->config().round_deadline);
+            straggler_lag(finish_time, fault_->config().round_deadline);
         if (lag <= async_.max_lag) {
           d.accepted = false;
           d.deferred = true;
@@ -182,6 +202,19 @@ FederatedAlgorithm::Delivery FederatedAlgorithm::deliver_update(
         d.accepted = false;
         d.reason = RejectReason::kDeadline;
       }
+    }
+  }
+  if (d.accepted && churn_ != nullptr) {
+    // A returning client's first accepted uplink is discounted by its
+    // absence through the straggler buffer's staleness arithmetic: the
+    // update was trained from a freshly-downloaded model, but the client's
+    // local state (optimizer statistics, BN history, SPATL agent) aged
+    // while it was away, so its contribution earns back trust gradually.
+    const std::size_t absence = churn_->pending_staleness(client);
+    if (absence > 0) {
+      d.scale *= staleness_scale(churn_->return_stale_weight(), absence);
+      ++stats_.returning_discounted;
+      churn_->clear_pending(client);
     }
   }
   if (d.accepted) {

@@ -21,6 +21,7 @@
 #include "data/train.hpp"
 #include "fl/async.hpp"
 #include "fl/checkpoint.hpp"
+#include "fl/churn.hpp"
 #include "fl/comm.hpp"
 #include "fl/environment.hpp"
 #include "fl/fault.hpp"
@@ -94,6 +95,20 @@ class FederatedAlgorithm {
   }
   /// Current straggler-buffer occupancy.
   std::size_t buffered_total() const { return buffer_.size(); }
+
+  /// Install the elastic-membership engine (runner-managed): a returning
+  /// client's first accepted uplink is staleness-discounted through the
+  /// StragglerBuffer's scale arithmetic. Null = static population,
+  /// bit-identical to the legacy path.
+  void set_churn(ChurnEngine* churn) { churn_ = churn; }
+  void clear_churn() { churn_ = nullptr; }
+
+  /// Estimated per-client uplink payload in float32 units, used by the
+  /// runner's admission byte budget: the dense parameter vector by default,
+  /// 2x for the control-carrying algorithms (FedNova, SCAFFOLD), and the
+  /// dense shared encoder (x2 under gradient control) for SPATL — a
+  /// conservative bound on its masked payload.
+  virtual std::size_t uplink_cost_floats();
 
   /// Reset per-round statistics, seed them with the runner's admission
   /// counts, and set the round index that keys fault decisions. Called by
@@ -181,6 +196,7 @@ class FederatedAlgorithm {
   models::SplitModel worker_;
 
   const FaultModel* fault_ = nullptr;  // not owned; may be null
+  ChurnEngine* churn_ = nullptr;       // not owned; may be null
   bool defended_ = false;              // resilience policy active
   ResilienceConfig resilience_;
   std::unique_ptr<RobustAggregator> robust_;  // built from resilience_
@@ -214,6 +230,10 @@ class FedNova : public FederatedAlgorithm {
   std::string name() const override { return "fednova"; }
   bool supports_async() const override { return true; }
   void run_round(const std::vector<std::size_t>& selected) override;
+  /// Normalized update + a_i normalization state: ~2x FedAvg per uplink.
+  std::size_t uplink_cost_floats() override {
+    return 2 * FederatedAlgorithm::uplink_cost_floats();
+  }
 };
 
 class Scaffold : public FederatedAlgorithm {
@@ -224,6 +244,10 @@ class Scaffold : public FederatedAlgorithm {
   void run_round(const std::vector<std::size_t>& selected) override;
   void save_state(RunCheckpoint& out) override;
   void load_state(const RunCheckpoint& in) override;
+  /// Delta weights + delta control variate: ~2x FedAvg per uplink.
+  std::size_t uplink_cost_floats() override {
+    return 2 * FederatedAlgorithm::uplink_cost_floats();
+  }
 
  private:
   std::vector<float> server_c_;

@@ -33,11 +33,22 @@ bool before(const BufferedUpdate& a, const BufferedUpdate& b) {
 
 }  // namespace
 
-void StragglerBuffer::park(BufferedUpdate update) {
+std::size_t StragglerBuffer::park(BufferedUpdate update) {
   SPATL_DCHECK(update.commit_round > update.source_round);
+  // Latest-wins dedup: a client re-parking supersedes its older entry (the
+  // incoming update trained against a newer base, so replaying both would
+  // double-count the client and waste buffered bytes).
+  std::size_t evicted = 0;
+  for (std::size_t k = entries_.size(); k > 0; --k) {
+    if (entries_[k - 1].client != update.client) continue;
+    SPATL_DCHECK(entries_[k - 1].source_round < update.source_round);
+    entries_.erase(entries_.begin() + std::ptrdiff_t(k - 1));
+    ++evicted;
+  }
   const auto pos =
       std::upper_bound(entries_.begin(), entries_.end(), update, before);
   entries_.insert(pos, std::move(update));
+  return evicted;
 }
 
 std::vector<BufferedUpdate> StragglerBuffer::take_due(std::size_t round) {
@@ -111,9 +122,9 @@ void StragglerBuffer::load(const RunCheckpoint& in, const std::string& prefix) {
   }
 }
 
-bool EscalationTracker::observe(const RoundStats& stats) {
-  if (!config_.enabled || active_) return false;
-  if (stats.skipped) return false;  // nothing aggregated, nothing learned
+EscalationTracker::Action EscalationTracker::observe(const RoundStats& stats) {
+  if (!config_.enabled) return Action::kNone;
+  if (stats.skipped) return Action::kNone;  // nothing aggregated or learned
   // Robust rules surface suspicion as exclusions/clips; the plain mean has
   // only validation to go on, so rejected updates count toward the trend —
   // otherwise a mean -> median escalation could never trigger.
@@ -121,16 +132,26 @@ bool EscalationTracker::observe(const RoundStats& stats) {
                                  stats.rejected_non_finite +
                                  stats.rejected_norm;
   const double base = double(std::max<std::size_t>(1, stats.delivered));
-  if (double(suspicious) / base >= config_.suspect_threshold) {
-    ++streak_;
-  } else {
-    streak_ = 0;
+  const bool noisy = double(suspicious) / base >= config_.suspect_threshold;
+  if (active_) {
+    // De-escalation path (opt-in): the escalated rule must stay quiet for
+    // reset_after_quiet consecutive rounds before the cheap mean returns; a
+    // single noisy round re-arms the full wait. One-way when disabled.
+    if (config_.reset_after_quiet == 0) return Action::kNone;
+    quiet_ = noisy ? 0 : quiet_ + 1;
+    if (quiet_ >= config_.reset_after_quiet) {
+      reset();
+      return Action::kDeescalate;
+    }
+    return Action::kNone;
   }
+  streak_ = noisy ? streak_ + 1 : 0;
   if (streak_ >= std::max<std::size_t>(1, config_.patience)) {
     active_ = true;
-    return true;
+    quiet_ = 0;
+    return Action::kEscalate;
   }
-  return false;
+  return Action::kNone;
 }
 
 }  // namespace spatl::fl

@@ -71,7 +71,11 @@ struct BufferedUpdate {
 class StragglerBuffer {
  public:
   /// Insert preserving the (commit_round, source_round, client) order.
-  void park(BufferedUpdate update);
+  /// Latest wins per client: any older parked update from the same client
+  /// (necessarily from an earlier source round) is evicted first, so the
+  /// buffer holds at most one entry per client and re-parking cannot
+  /// double-commit. Returns the number of evicted entries.
+  std::size_t park(BufferedUpdate update);
 
   /// Remove and return every entry with commit_round <= round (in order).
   /// Entries whose commit round fell inside a skipped round drain here too —
@@ -100,36 +104,61 @@ class StragglerBuffer {
 /// (robust-aggregator exclusions + norm clips) among delivered uplinks stays
 /// above `suspect_threshold` for `patience` consecutive rounds, the runner
 /// permanently escalates the aggregation rule from the configured one
-/// (typically kWeightedMean) to `aggregator`. One-way by design: an adversary
-/// who can quiet down for a round should not win the cheap mean back.
+/// (typically kWeightedMean) to `aggregator`. One-way by default: an
+/// adversary who can quiet down for a round should not win the cheap mean
+/// back. `reset_after_quiet` opts into de-escalation after a sustained quiet
+/// streak (and EscalationTracker::reset() drops back explicitly).
 struct EscalationConfig {
   bool enabled = false;
   double suspect_threshold = 0.25;
   std::size_t patience = 2;
   AggregatorKind aggregator = AggregatorKind::kCoordinateMedian;
+  /// De-escalation patience: after this many consecutive quiet rounds
+  /// (suspicious fraction below threshold) under the escalated rule, the
+  /// tracker resets and the configured aggregator is restored. 0 keeps the
+  /// legacy one-way escalation (quiet rounds are never counted).
+  std::size_t reset_after_quiet = 0;
 };
 
 class EscalationTracker {
  public:
+  /// What the caller must do after feeding a round to observe().
+  enum class Action {
+    kNone,
+    kEscalate,    // trip: switch to config.aggregator from the next round
+    kDeescalate,  // quiet streak elapsed: restore the configured aggregator
+  };
+
   EscalationTracker() = default;
   explicit EscalationTracker(EscalationConfig config) : config_(config) {}
 
-  /// Feed one finished round; returns true exactly once, on the round the
-  /// escalation trips (callers reconfigure the aggregator for the rounds
-  /// that follow).
-  bool observe(const RoundStats& stats);
+  /// Feed one finished round. Returns kEscalate exactly once per trip, on
+  /// the round the escalation fires; kDeescalate when reset_after_quiet
+  /// consecutive quiet rounds have elapsed under the escalated rule.
+  Action observe(const RoundStats& stats);
+
+  /// Explicit reset: drop back to the non-escalated rule and clear both
+  /// streaks (exposed through the runner / CLI de-escalation path).
+  void reset() {
+    streak_ = 0;
+    quiet_ = 0;
+    active_ = false;
+  }
 
   bool active() const { return active_; }
   std::size_t streak() const { return streak_; }
+  std::size_t quiet_streak() const { return quiet_; }
   /// Checkpoint restore.
-  void restore(std::size_t streak, bool active) {
+  void restore(std::size_t streak, bool active, std::size_t quiet = 0) {
     streak_ = streak;
     active_ = active;
+    quiet_ = quiet;
   }
 
  private:
   EscalationConfig config_;
   std::size_t streak_ = 0;
+  std::size_t quiet_ = 0;  // consecutive quiet rounds while escalated
   bool active_ = false;
 };
 

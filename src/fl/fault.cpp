@@ -20,6 +20,7 @@ enum class Stream : std::uint64_t {
   kCorrupt = 0x3ULL,
   kByzantine = 0x4ULL,  // membership: keyed on client only (round = 0)
   kAttack = 0x5ULL,     // per-round attack noise draws
+  kBackoff = 0x6ULL,    // retry-backoff jitter (never touches kLoss draws)
 };
 
 /// Order-independent per-decision generator: the seed is mixed with the
@@ -86,6 +87,7 @@ const char* skip_reason_name(SkipReason reason) {
     case SkipReason::kNone: return "none";
     case SkipReason::kAdmissionQuorum: return "admission_quorum";
     case SkipReason::kPostValidationQuorum: return "post_validation_quorum";
+    case SkipReason::kAdmissionBudget: return "admission_budget";
   }
   return "unknown";
 }
@@ -187,16 +189,33 @@ ClientFault FaultModel::assess(std::size_t round, std::size_t client) const {
 }
 
 Transmission FaultModel::transmit(std::size_t round, std::size_t client,
-                                  std::size_t max_retries) const {
+                                  const RetryPolicy& retry) const {
   Transmission t;
   if (config_.loss_rate <= 0.0) return t;
   auto rng = keyed_rng(config_.seed, round, client, Stream::kLoss);
+  // Jitter draws come from their own stream, created lazily so a jitter-free
+  // policy performs zero extra RNG work; loss outcomes read only `rng`.
+  const bool backoff_on = retry.backoff_base > 0.0;
+  const bool jitter_on = backoff_on && retry.jitter > 0.0;
+  common::Rng jitter_rng =
+      jitter_on ? keyed_rng(config_.seed, round, client, Stream::kBackoff)
+                : common::Rng(0);
   t.attempts = 0;
-  for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+  double wait = retry.backoff_base;
+  for (std::size_t attempt = 0; attempt <= retry.max_retries; ++attempt) {
     ++t.attempts;
     if (!rng.bernoulli(config_.loss_rate)) {
       t.delivered = true;
       return t;
+    }
+    if (backoff_on && attempt < retry.max_retries) {
+      double step = std::min(wait, retry.backoff_max);
+      if (jitter_on) {
+        const double j = std::clamp(retry.jitter, 0.0, 1.0);
+        step *= 1.0 - j + 2.0 * j * jitter_rng.uniform();
+      }
+      t.backoff_wait += step;
+      wait *= std::max(1.0, retry.backoff_factor);
     }
   }
   t.delivered = false;

@@ -7,9 +7,10 @@
 // deterministically — every decision is keyed on (seed, round, client), so
 // two runs with the same seeds are bit-identical regardless of query order —
 // and `ResilienceConfig` describes the server's defenses: update validation,
-// bounded retry (metered through CommLedger's retransmission counters),
-// stale-update down-weighting, and a participation quorum below which the
-// round is skipped with the global model untouched.
+// a RetryPolicy (bounded retransmissions with capped exponential backoff and
+// deterministic jitter, metered through CommLedger's retransmission
+// counters), stale-update down-weighting, and a participation quorum below
+// which the round is skipped with the global model untouched.
 //
 // The whole path is strictly opt-in: with no FaultModel installed and no
 // ResilienceConfig requested, every algorithm's arithmetic and byte
@@ -118,9 +119,34 @@ enum class SkipReason {
   /// Enough clients started, but server-side validation rejected updates
   /// down to below min_quorum (post-validation survivor set).
   kPostValidationQuorum,
+  /// The per-round admission budget (participant cap / uplink byte budget)
+  /// shed or deferred every active client before any uplink was attempted.
+  kAdmissionBudget,
 };
 
 const char* skip_reason_name(SkipReason reason);
+
+/// Retransmission discipline for lost uplinks: capped exponential backoff
+/// with deterministic jitter drawn from the per-(round, client) backoff
+/// stream. The defaults (no backoff, no jitter) reproduce the legacy
+/// bounded-retry loop draw for draw — retries consume only kLoss-stream
+/// Bernoullis, so enabling backoff later never perturbs loss outcomes.
+struct RetryPolicy {
+  /// Retransmission attempts after a lost uplink before giving up.
+  std::size_t max_retries = 2;
+  /// Virtual-time wait before the first retry (same units as the fault
+  /// model's compute times). 0 disables backoff entirely: no waits, no
+  /// jitter draws, legacy behaviour bit for bit.
+  double backoff_base = 0.0;
+  /// Multiplier applied to the wait after each failed attempt.
+  double backoff_factor = 2.0;
+  /// Upper bound on any single wait.
+  double backoff_max = 8.0;
+  /// Deterministic jitter: each wait is scaled by a factor uniform in
+  /// [1 - jitter, 1 + jitter], drawn from the kBackoff stream (only when
+  /// backoff is active). 0 = no draws at all.
+  double jitter = 0.0;
+};
 
 /// Server-side defense policy (meaningful with or without fault injection).
 struct ResilienceConfig {
@@ -129,8 +155,9 @@ struct ResilienceConfig {
   /// Reject updates whose L2 delta from the reference exceeds this bound.
   /// 0 disables the norm check.
   double max_update_norm = 0.0;
-  /// Retransmission attempts after a lost uplink before giving up.
-  std::size_t max_retries = 2;
+  /// Retransmission discipline for lost uplinks (attempt budget + capped
+  /// exponential backoff with deterministic jitter).
+  RetryPolicy retry;
   /// Minimum accepted updates required to apply aggregation; below this the
   /// round is skipped and the global model is left untouched.
   std::size_t min_quorum = 1;
@@ -175,6 +202,10 @@ struct ClientFault {
 struct Transmission {
   bool delivered = true;
   std::size_t attempts = 1;  // total tries, including the successful one
+  /// Total virtual-time backoff waited between attempts (0 with backoff
+  /// disabled). Added to the client's compute time by the straggler policy,
+  /// so a retry storm can push a client past the round deadline.
+  double backoff_wait = 0.0;
 };
 
 /// Deterministic per-(round, client) fault sampler. All members are const:
@@ -190,9 +221,13 @@ class FaultModel {
   /// Availability / straggler fate of `client` in `round`.
   ClientFault assess(std::size_t round, std::size_t client) const;
 
-  /// Simulate the uplink transmission with up to `max_retries` retries.
+  /// Simulate the uplink transmission under `retry`: up to
+  /// retry.max_retries retransmissions, accumulating capped-exponential
+  /// backoff waits (with deterministic jitter) between failed attempts.
+  /// Loss outcomes consume only the kLoss stream, so the draw sequence is
+  /// identical whatever backoff parameters are configured.
   Transmission transmit(std::size_t round, std::size_t client,
-                        std::size_t max_retries) const;
+                        const RetryPolicy& retry) const;
 
   /// Maybe corrupt `payload` in place; returns true if corruption fired.
   bool corrupt(std::size_t round, std::size_t client,
@@ -238,6 +273,31 @@ struct RoundStats {
   std::size_t late_commits = 0;
   /// Buffer occupancy after this round's parks and commits.
   std::size_t buffer_depth = 0;
+  /// Older parked updates superseded by a newer park from the same client
+  /// (latest-wins dedup; parked == late_commits + occupancy + this).
+  std::size_t dedup_dropped = 0;
+
+  // --- elastic membership (zeros when churn is off) ----------------------
+  std::size_t joined = 0;    // never-joined clients that enrolled this round
+  std::size_t left = 0;      // enrolled clients that departed this round
+  std::size_t returned = 0;  // departed clients that re-enrolled this round
+  std::size_t enrolled = 0;  // population size after this round's events
+  /// Returning clients whose first accepted uplink was staleness-discounted.
+  std::size_t returning_discounted = 0;
+
+  // --- admission control (zeros when no budget is configured) ------------
+  /// Active clients shed by the per-round admission budget (no uplink, no
+  /// bytes, not re-queued).
+  std::size_t shed = 0;
+  /// Active clients deferred by the budget into the next round's cohort.
+  std::size_t admission_deferred = 0;
+
+  // --- retry discipline --------------------------------------------------
+  /// Total virtual-time backoff waited across this round's retries.
+  double backoff_wait = 0.0;
+  /// Clients whose uplink was abandoned after exhausting the retry budget
+  /// (same clients as rejected_lost, by id, for per-client give-up totals).
+  std::vector<std::size_t> giveups;
 
   /// True when the round was skipped (admission or post-validation quorum).
   bool skipped = false;

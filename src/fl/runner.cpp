@@ -3,13 +3,30 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/alert.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace spatl::fl {
+
+const char* admission_policy_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kShed: return "shed";
+    case AdmissionPolicy::kDefer: return "defer";
+  }
+  return "unknown";
+}
+
+AdmissionPolicy parse_admission_policy(const std::string& name) {
+  if (name == "shed") return AdmissionPolicy::kShed;
+  if (name == "defer") return AdmissionPolicy::kDefer;
+  throw std::invalid_argument("unknown admission policy '" + name +
+                              "' (shed|defer)");
+}
 
 namespace {
 
@@ -34,6 +51,18 @@ void accumulate(RunResult& result, const RoundStats& stats) {
   result.total_suspected += stats.suspects.size();
   result.total_parked += stats.parked;
   result.total_late_commits += stats.late_commits;
+  result.total_dedup_dropped += stats.dedup_dropped;
+  result.total_joined += stats.joined;
+  result.total_left += stats.left;
+  result.total_returned += stats.returned;
+  result.total_returning_discounted += stats.returning_discounted;
+  result.total_shed += stats.shed;
+  result.total_deferred += stats.admission_deferred;
+  result.total_backoff_wait += stats.backoff_wait;
+  result.total_giveups += stats.giveups.size();
+  for (const std::size_t c : stats.giveups) {
+    if (c < result.client_giveups.size()) ++result.client_giveups[c];
+  }
   if (stats.skipped) ++result.rounds_skipped;
   if (stats.rolled_back) ++result.rounds_rolled_back;
   if (stats.escalated) ++result.rounds_escalated;
@@ -93,6 +122,7 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   RunResult result;
   common::Rng sampler(opts.sampling_seed);
   const std::size_t num_clients = algo.environment().num_clients();
+  result.client_giveups.assign(num_clients, 0);
   // Guard the participant count: clamp the ratio into [0, 1] and the count
   // into [1, num_clients] so no ratio can ever select zero clients.
   const double ratio = std::clamp(opts.sample_ratio, 0.0, 1.0);
@@ -105,7 +135,8 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   const ResilienceConfig resilience =
       opts.resilience ? *opts.resilience : ResilienceConfig{};
   // The policy actually installed this round: starts at `resilience` and is
-  // upgraded in place when the escalation tracker trips (sticky).
+  // upgraded in place when the escalation tracker trips (downgraded again
+  // by the opt-in quiet-streak de-escalation).
   ResilienceConfig current = resilience;
   const std::size_t quorum = std::max<std::size_t>(1, resilience.min_quorum);
   if (defended) {
@@ -119,53 +150,174 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   EscalationTracker escalation(opts.escalation);
   const bool guard = opts.divergence_factor > 0.0;
 
+  // Elastic membership: the engine materializes its deterministic trace up
+  // front; the runner replays it round by round and samples from the
+  // enrolled set only. At full enrollment the index map is the identity and
+  // the sampling draws match the static-population path bit for bit.
+  std::optional<ChurnEngine> churn;
+  if (opts.churn) {
+    churn.emplace(*opts.churn, opts.rounds, num_clients);
+    // Off-switch contract: a config whose materialized trace is empty is
+    // indistinguishable from no churn at all — same sampling path, same
+    // telemetry bytes, same checkpoint entries.
+    if (churn->trace().empty()) churn.reset();
+  }
+  if (churn) algo.set_churn(&*churn);
+  const bool admission_on = opts.admission.limited();
+  std::vector<std::size_t> defer_queue;  // budget-deferred clients
+
   // Per-client failure EMA for fault-aware sampling (satellite): dropped,
   // lost, or rejected uplinks raise it; clean rounds decay it.
   std::vector<double> fail_ema(num_clients, 0.0);
   const double ema_decay = std::clamp(opts.fault_ema_decay, 0.0, 1.0);
 
   double prev_loss = std::numeric_limits<double>::quiet_NaN();
-  std::size_t start_round = 1;
-  if (opts.resume != nullptr && !opts.resume->empty()) {
-    const RunCheckpoint& ckpt = *opts.resume;
+
+  // Full-state snapshot after `round`: everything load-bearing for the
+  // remaining rounds, so a resume (or an injected crash recovery) replays
+  // the uninterrupted run bit for bit.
+  const auto write_checkpoint = [&](std::size_t round) {
+    RunCheckpoint ckpt;
+    algo.save_state(ckpt);
+    ckpt.entries.push_back(pack_u64s("run/round", {std::uint64_t(round)}));
+    ckpt.entries.push_back(pack_rng("run/sampler_rng", sampler));
+    const CommSnapshot lg = algo.ledger().snapshot();
+    ckpt.entries.push_back(pack_doubles(
+        "run/ledger", {lg.uplink, lg.downlink, lg.retransmitted}));
+    ckpt.entries.push_back(pack_doubles("run/ema", fail_ema));
+    ckpt.entries.push_back(pack_u64s(
+        "run/totals",
+        {std::uint64_t(result.total_selected),
+         std::uint64_t(result.total_dropped),
+         std::uint64_t(result.total_stragglers),
+         std::uint64_t(result.total_accepted),
+         std::uint64_t(result.total_rejected),
+         std::uint64_t(result.total_retransmissions),
+         std::uint64_t(result.rounds_skipped),
+         std::uint64_t(result.total_attacked),
+         std::uint64_t(result.total_suspected),
+         std::uint64_t(result.rounds_rolled_back),
+         std::uint64_t(result.total_parked),
+         std::uint64_t(result.total_late_commits),
+         std::uint64_t(result.rounds_escalated),
+         std::uint64_t(result.total_dedup_dropped),
+         std::uint64_t(result.total_joined),
+         std::uint64_t(result.total_left),
+         std::uint64_t(result.total_returned),
+         std::uint64_t(result.total_returning_discounted),
+         std::uint64_t(result.total_shed),
+         std::uint64_t(result.total_deferred),
+         std::uint64_t(result.total_giveups)}));
+    ckpt.entries.push_back(
+        pack_doubles("run/series", {result.best_accuracy,
+                                    result.final_accuracy, prev_loss,
+                                    result.total_backoff_wait}));
+    ckpt.entries.push_back(pack_u64s(
+        "run/escalation", {std::uint64_t(escalation.streak()),
+                           std::uint64_t(escalation.active() ? 1 : 0),
+                           std::uint64_t(escalation.quiet_streak())}));
+    if (!defer_queue.empty()) {
+      std::vector<std::uint64_t> q(defer_queue.begin(), defer_queue.end());
+      ckpt.entries.push_back(pack_u64s("run/admission_carryover", q));
+    }
+    if (churn) churn->save(ckpt, "run/churn/");
+    if (result.total_giveups > 0) {
+      std::vector<std::uint64_t> g(result.client_giveups.begin(),
+                                   result.client_giveups.end());
+      ckpt.entries.push_back(pack_u64s("run/giveups", g));
+    }
+    return ckpt;
+  };
+
+  // Inverse of write_checkpoint: rebuild every piece of loop state from a
+  // snapshot (shared by the resume path and the crash-recovery drill).
+  // Returns the round the snapshot was taken after.
+  const auto restore_checkpoint = [&](const RunCheckpoint& ckpt) {
     algo.load_state(ckpt);
-    start_round = std::size_t(unpack_u64s(ckpt.at("run/round"))[0]) + 1;
+    const std::size_t ckpt_round =
+        std::size_t(unpack_u64s(ckpt.at("run/round"))[0]);
     unpack_rng(ckpt.at("run/sampler_rng"), sampler);
     const auto lg = unpack_doubles(ckpt.at("run/ledger"));
     algo.ledger().restore(lg[0], lg[1], lg[2]);
     const auto ema = unpack_doubles(ckpt.at("run/ema"));
     if (ema.size() == num_clients) fail_ema = ema;
     const auto totals = unpack_u64s(ckpt.at("run/totals"));
-    result.total_selected = std::size_t(totals[0]);
-    result.total_dropped = std::size_t(totals[1]);
-    result.total_stragglers = std::size_t(totals[2]);
-    result.total_accepted = std::size_t(totals[3]);
-    result.total_rejected = std::size_t(totals[4]);
-    result.total_retransmissions = std::size_t(totals[5]);
-    result.rounds_skipped = std::size_t(totals[6]);
-    result.total_attacked = std::size_t(totals[7]);
-    result.total_suspected = std::size_t(totals[8]);
-    result.rounds_rolled_back = std::size_t(totals[9]);
-    if (totals.size() >= 13) {  // pre-async checkpoints carry 10 entries
-      result.total_parked = std::size_t(totals[10]);
-      result.total_late_commits = std::size_t(totals[11]);
-      result.rounds_escalated = std::size_t(totals[12]);
-    }
+    // Older checkpoints carry shorter vectors (pre-async: 10, pre-churn:
+    // 13); absent entries restore as zero.
+    const auto tot = [&](std::size_t i) {
+      return i < totals.size() ? std::size_t(totals[i]) : std::size_t(0);
+    };
+    result.total_selected = tot(0);
+    result.total_dropped = tot(1);
+    result.total_stragglers = tot(2);
+    result.total_accepted = tot(3);
+    result.total_rejected = tot(4);
+    result.total_retransmissions = tot(5);
+    result.rounds_skipped = tot(6);
+    result.total_attacked = tot(7);
+    result.total_suspected = tot(8);
+    result.rounds_rolled_back = tot(9);
+    result.total_parked = tot(10);
+    result.total_late_commits = tot(11);
+    result.rounds_escalated = tot(12);
+    result.total_dedup_dropped = tot(13);
+    result.total_joined = tot(14);
+    result.total_left = tot(15);
+    result.total_returned = tot(16);
+    result.total_returning_discounted = tot(17);
+    result.total_shed = tot(18);
+    result.total_deferred = tot(19);
+    result.total_giveups = tot(20);
     const auto series = unpack_doubles(ckpt.at("run/series"));
     result.best_accuracy = series[0];
     result.final_accuracy = series[1];
     prev_loss = series[2];
+    result.total_backoff_wait = series.size() >= 4 ? series[3] : 0.0;
     if (const auto* esc = ckpt.find("run/escalation")) {
       const auto state = unpack_u64s(*esc);
-      escalation.restore(std::size_t(state[0]), state[1] != 0);
-      if (escalation.active() && defended) {
-        // Re-arm the escalated rule the interrupted run was aggregating
-        // with, so the resumed rounds stay bit-identical.
-        current.aggregator = opts.escalation.aggregator;
-        algo.set_fault_injection(faults ? &*faults : nullptr, current);
+      escalation.restore(std::size_t(state[0]), state[1] != 0,
+                         state.size() >= 3 ? std::size_t(state[2]) : 0);
+    } else {
+      escalation.restore(0, false, 0);
+    }
+    // Re-arm the aggregation rule the snapshot was running under — escalated
+    // or (after a crash that rolled past a de-escalation) the base rule.
+    current = resilience;
+    if (defended && escalation.active()) {
+      current.aggregator = opts.escalation.aggregator;
+    }
+    if (defended) {
+      algo.set_fault_injection(faults ? &*faults : nullptr, current);
+    }
+    defer_queue.clear();
+    if (const auto* t = ckpt.find("run/admission_carryover")) {
+      for (const std::uint64_t c : unpack_u64s(*t)) {
+        defer_queue.push_back(std::size_t(c));
       }
     }
+    if (churn) churn->load(ckpt, "run/churn/");
+    result.client_giveups.assign(num_clients, 0);
+    if (const auto* t = ckpt.find("run/giveups")) {
+      const auto g = unpack_u64s(*t);
+      for (std::size_t i = 0; i < std::min<std::size_t>(g.size(), num_clients);
+           ++i) {
+        result.client_giveups[i] = std::size_t(g[i]);
+      }
+    }
+    return ckpt_round;
+  };
+
+  std::size_t start_round = 1;
+  if (opts.resume != nullptr && !opts.resume->empty()) {
+    start_round = restore_checkpoint(*opts.resume) + 1;
   }
+
+  // Failover drills: the pre-loop baseline covers a crash injected before
+  // the first periodic checkpoint exists.
+  const bool drills = !opts.crash_at_rounds.empty();
+  RunCheckpoint baseline;
+  if (drills) baseline = write_checkpoint(start_round - 1);
+  std::vector<std::uint8_t> crash_fired(opts.rounds + 1, 0);
 
   obs::Tracer& tracer = obs::Tracer::instance();
   const std::size_t telemetry_stride =
@@ -182,6 +334,11 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       trace_start = tracer.cursor();
     }
 
+    // Membership events apply at round start regardless of what the round
+    // does afterwards (a skipped round still ages the population).
+    ChurnDelta cdelta;
+    if (churn) cdelta = churn->advance(round);
+
     RoundStats stats;
     std::optional<EvalSummary> round_eval;
     bool stop = false;
@@ -193,7 +350,30 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       std::vector<std::size_t> selected;
       {
         SPATL_TRACE_SPAN("fl/sample");
-        if (opts.fault_aware_sampling) {
+        if (churn) {
+          // Sample from the enrolled population only, mapping draw indices
+          // through the ascending enrolled list: at full enrollment the map
+          // is the identity and the draw sequence matches the static path.
+          const std::vector<std::size_t>& pool = churn->enrolled();
+          if (!pool.empty()) {
+            const std::size_t pool_count = std::clamp<std::size_t>(
+                std::size_t(std::ceil(ratio * double(pool.size()))),
+                std::size_t(1), pool.size());
+            if (opts.fault_aware_sampling) {
+              std::vector<double> weights(pool.size(), 1.0);
+              for (std::size_t k = 0; k < pool.size(); ++k) {
+                weights[k] = std::max(opts.fault_sampling_floor,
+                                      1.0 - fail_ema[pool[k]]);
+              }
+              selected = weighted_sample_without_replacement(sampler, weights,
+                                                             pool_count);
+            } else {
+              selected =
+                  sampler.sample_without_replacement(pool.size(), pool_count);
+            }
+            for (std::size_t& s : selected) s = pool[s];
+          }
+        } else if (opts.fault_aware_sampling) {
           // Selection weight shrinks with the failure EMA but never below
           // the floor: flaky clients are down-weighted, not starved.
           std::vector<double> weights(num_clients, 1.0);
@@ -209,9 +389,29 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
         }
       }
 
+      // Budget-deferred clients join ahead of the fresh sample (they were
+      // already committed to this cohort; departing mid-queue drops them).
+      if (admission_on && !defer_queue.empty()) {
+        std::vector<std::size_t> merged;
+        merged.reserve(defer_queue.size() + selected.size());
+        for (const std::size_t c : defer_queue) {
+          if (churn && !churn->is_enrolled(c)) continue;
+          if (!contains(merged, c)) merged.push_back(c);
+        }
+        for (const std::size_t c : selected) {
+          if (!contains(merged, c)) merged.push_back(c);
+        }
+        selected = std::move(merged);
+        defer_queue.clear();
+      }
+
       // Admission: drop clients unavailable this round, flag stragglers.
       RoundStats admission;
       admission.selected = selected.size();
+      admission.joined = cdelta.joined;
+      admission.left = cdelta.left;
+      admission.returned = cdelta.returned;
+      if (churn) admission.enrolled = churn->enrolled().size();
       std::vector<std::size_t> active;
       std::vector<std::size_t> dropped_ids;
       if (faults && faults->enabled()) {
@@ -230,6 +430,49 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
         active = selected;
       }
 
+      // Overload admission control: cap the round's uplinks by participant
+      // count and estimated uplink bytes; excess clients — picked by a
+      // round-keyed rotation so no id is systematically starved — are shed
+      // outright or deferred into the next round's cohort.
+      bool budget_exhausted = false;
+      if (admission_on && !active.empty()) {
+        std::size_t cap = active.size();
+        if (opts.admission.max_participants > 0) {
+          cap = std::min(cap, opts.admission.max_participants);
+        }
+        if (opts.admission.max_uplink_bytes > 0.0) {
+          const double per_uplink = 4.0 * double(algo.uplink_cost_floats());
+          const std::size_t by_bytes =
+              per_uplink > 0.0 ? std::size_t(opts.admission.max_uplink_bytes /
+                                             per_uplink)
+                               : active.size();
+          cap = std::min(cap, by_bytes);
+        }
+        if (cap < active.size()) {
+          const std::size_t excess = active.size() - cap;
+          const std::size_t start = round % active.size();
+          std::vector<std::uint8_t> drop(active.size(), 0);
+          for (std::size_t k = 0; k < excess; ++k) {
+            drop[(start + k) % active.size()] = 1;
+          }
+          std::vector<std::size_t> kept;
+          std::vector<std::size_t> over;
+          kept.reserve(cap);
+          over.reserve(excess);
+          for (std::size_t k = 0; k < active.size(); ++k) {
+            (drop[k] ? over : kept).push_back(active[k]);
+          }
+          active = std::move(kept);
+          if (opts.admission.policy == AdmissionPolicy::kDefer) {
+            admission.admission_deferred = over.size();
+            defer_queue = std::move(over);
+          } else {
+            admission.shed = over.size();
+          }
+          budget_exhausted = active.empty();
+        }
+      }
+
       stats = admission;
       std::optional<EvalSummary> guard_eval;
       // Admission gate: buffered updates due this round count toward the
@@ -240,11 +483,14 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
         // leave the global model untouched (parked updates stay buffered
         // and drain in the next round that clears admission).
         stats.skipped = true;
-        stats.skip_reason = SkipReason::kAdmissionQuorum;
+        stats.skip_reason = budget_exhausted
+                                ? SkipReason::kAdmissionBudget
+                                : SkipReason::kAdmissionQuorum;
         stats.buffer_depth = algo.buffered_total();
         common::log_debug(algo.name(), " round ", round,
                           " skipped below quorum (", active.size(), "+", due,
-                          "/", quorum, ")");
+                          "/", quorum, ", ", skip_reason_name(stats.skip_reason),
+                          ")");
       } else {
         // Pre-round snapshot for the divergence guard: algorithm state plus
         // ledger counters, so a rolled-back round leaves no trace (bytes are
@@ -255,9 +501,13 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
           algo.save_state(snapshot);
           ledger_snap = algo.ledger().snapshot();
         }
-        if (defended) algo.begin_round(round, admission);
+        // Churn piggybacks on the defended path's per-round stats plumbing
+        // (returning-client discounts are attributed in deliver_update);
+        // begin_round/round_stats never touch a float, so reading them on
+        // the clean-with-churn path costs nothing.
+        if (defended || churn) algo.begin_round(round, admission);
         algo.run_round(active);
-        if (defended) stats = algo.round_stats();
+        if (defended || churn) stats = algo.round_stats();
         if (guard) {
           EvalSummary eval = algo.evaluate_clients();
           const bool exploded =
@@ -291,16 +541,46 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       }
       // Adaptive escalation (defended path only): this round ran under the
       // rule selected so far; its stats then feed the tracker, and a trip
-      // upgrades the aggregator for every round that follows (one-way).
+      // upgrades the aggregator for every round that follows (one-way
+      // unless a quiet streak de-escalates).
       stats.escalated = defended && escalation.active();
-      if (defended && escalation.observe(stats)) {
-        current.aggregator = opts.escalation.aggregator;
-        algo.set_fault_injection(faults ? &*faults : nullptr, current);
-        common::log_debug(algo.name(), " round ", round,
-                          " escalating aggregator to ",
-                          aggregator_kind_name(current.aggregator));
+      if (defended) {
+        switch (escalation.observe(stats)) {
+          case EscalationTracker::Action::kEscalate:
+            current.aggregator = opts.escalation.aggregator;
+            algo.set_fault_injection(faults ? &*faults : nullptr, current);
+            common::log_debug(algo.name(), " round ", round,
+                              " escalating aggregator to ",
+                              aggregator_kind_name(current.aggregator));
+            break;
+          case EscalationTracker::Action::kDeescalate:
+            current.aggregator = resilience.aggregator;
+            algo.set_fault_injection(faults ? &*faults : nullptr, current);
+            common::log_debug(algo.name(), " round ", round,
+                              " quiet streak elapsed, de-escalating to ",
+                              aggregator_kind_name(current.aggregator));
+            break;
+          case EscalationTracker::Action::kNone:
+            break;
+        }
       }
       accumulate(result, stats);
+
+      // Threshold->alert hook: derived per-round rates, fed only when a
+      // watcher is installed (pure observation).
+      if (opts.alerts != nullptr) {
+        const double delivered =
+            double(std::max<std::size_t>(1, stats.delivered));
+        opts.alerts->observe("fl.reject_rate",
+                             double(stats.rejected_total()) / delivered,
+                             std::uint64_t(round));
+        const double selected_base =
+            double(std::max<std::size_t>(1, stats.selected));
+        opts.alerts->observe(
+            "fl.shed_rate",
+            double(stats.shed + stats.admission_deferred) / selected_base,
+            std::uint64_t(round));
+      }
 
       if (opts.fault_aware_sampling) {
         for (const std::size_t i : selected) {
@@ -338,35 +618,7 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       if (!stop && opts.checkpoint_every > 0 &&
           round % opts.checkpoint_every == 0) {
         SPATL_TRACE_SPAN("fl/checkpoint");
-        RunCheckpoint ckpt;
-        algo.save_state(ckpt);
-        ckpt.entries.push_back(pack_u64s("run/round", {std::uint64_t(round)}));
-        ckpt.entries.push_back(pack_rng("run/sampler_rng", sampler));
-        const CommSnapshot lg = algo.ledger().snapshot();
-        ckpt.entries.push_back(pack_doubles(
-            "run/ledger", {lg.uplink, lg.downlink, lg.retransmitted}));
-        ckpt.entries.push_back(pack_doubles("run/ema", fail_ema));
-        ckpt.entries.push_back(pack_u64s(
-            "run/totals",
-            {std::uint64_t(result.total_selected),
-             std::uint64_t(result.total_dropped),
-             std::uint64_t(result.total_stragglers),
-             std::uint64_t(result.total_accepted),
-             std::uint64_t(result.total_rejected),
-             std::uint64_t(result.total_retransmissions),
-             std::uint64_t(result.rounds_skipped),
-             std::uint64_t(result.total_attacked),
-             std::uint64_t(result.total_suspected),
-             std::uint64_t(result.rounds_rolled_back),
-             std::uint64_t(result.total_parked),
-             std::uint64_t(result.total_late_commits),
-             std::uint64_t(result.rounds_escalated)}));
-        ckpt.entries.push_back(pack_doubles(
-            "run/series",
-            {result.best_accuracy, result.final_accuracy, prev_loss}));
-        ckpt.entries.push_back(pack_u64s(
-            "run/escalation", {std::uint64_t(escalation.streak()),
-                               std::uint64_t(escalation.active() ? 1 : 0)}));
+        RunCheckpoint ckpt = write_checkpoint(round);
         if (!opts.checkpoint_path.empty()) ckpt.save(opts.checkpoint_path);
         result.last_checkpoint = std::move(ckpt);
         ++result.checkpoints_written;
@@ -403,6 +655,28 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
           .add_raw("attackers", ids_array(stats.attackers))
           .add_raw("suspects", ids_array(stats.suspects))
           .add_raw("comm", comm.str());
+      // Feature-gated fields: each block appears only when its subsystem is
+      // configured, so a run with everything off emits byte-identical
+      // records to the pre-churn telemetry schema.
+      if (async_on) {
+        rec.add("dedup_dropped", std::uint64_t(stats.dedup_dropped));
+      }
+      if (churn) {
+        rec.add("enrolled", std::uint64_t(stats.enrolled))
+            .add("joined", std::uint64_t(stats.joined))
+            .add("left", std::uint64_t(stats.left))
+            .add("returned", std::uint64_t(stats.returned))
+            .add("returning_discounted",
+                 std::uint64_t(stats.returning_discounted));
+      }
+      if (admission_on) {
+        rec.add("shed", std::uint64_t(stats.shed))
+            .add("admission_deferred",
+                 std::uint64_t(stats.admission_deferred));
+      }
+      if (resilience.retry.backoff_base > 0.0) {
+        rec.add("backoff_wait", stats.backoff_wait);
+      }
       if (stats.skipped) {
         rec.add("skip_reason", skip_reason_name(stats.skip_reason));
       }
@@ -443,6 +717,39 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       }
       opts.telemetry->write(rec);
     }
+
+    // Failover drill: lose the server at the end of this round, once. All
+    // in-memory progress since the last durable checkpoint is discarded and
+    // the loop resumes from the snapshot — the recovery path a real crash
+    // would take, exercised inside one run_federated call.
+    if (drills && round < crash_fired.size() &&
+        contains(opts.crash_at_rounds, round) && !crash_fired[round]) {
+      crash_fired[round] = 1;
+      const RunCheckpoint& source =
+          result.last_checkpoint.empty() ? baseline : result.last_checkpoint;
+      const std::size_t recovered = restore_checkpoint(source);
+      ++result.crashes_injected;
+      while (!result.history.empty() &&
+             result.history.back().round > recovered) {
+        result.history.pop_back();
+      }
+      if (result.rounds_to_target && *result.rounds_to_target > recovered) {
+        result.rounds_to_target.reset();
+      }
+      stop = false;
+      if (opts.telemetry != nullptr) {
+        obs::JsonObject rec;
+        rec.add("type", "crash")
+            .add("algo", algo.name())
+            .add("round", std::uint64_t(round))
+            .add("recovered_to", std::uint64_t(recovered));
+        opts.telemetry->write(rec);
+      }
+      common::log_debug(algo.name(), " server crash injected at round ",
+                        round, ", recovered to round ", recovered);
+      round = recovered;  // the loop increment resumes at recovered + 1
+      continue;
+    }
     if (stop) break;
   }
   result.comm = algo.ledger().snapshot();
@@ -450,6 +757,7 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   result.retransmitted_bytes = result.comm.retransmitted;
   result.buffered_remaining = algo.buffered_total();
   if (async_on) algo.clear_async();
+  if (churn) algo.clear_churn();
   if (defended) algo.clear_fault_injection();
   return result;
 }

@@ -20,15 +20,44 @@
 #include "fl/algorithm.hpp"
 #include "fl/async.hpp"
 #include "fl/checkpoint.hpp"
+#include "fl/churn.hpp"
 #include "fl/comm.hpp"
 #include "fl/fault.hpp"
 #include "fl/robust.hpp"
 
 namespace spatl::obs {
+class AlertWatcher;
 class JsonlWriter;
 }  // namespace spatl::obs
 
 namespace spatl::fl {
+
+/// What happens to active clients beyond the per-round admission budget.
+enum class AdmissionPolicy {
+  kShed,   // sit the round out entirely (no uplink, no bytes, no re-queue)
+  kDefer,  // queue into the next round's cohort ahead of fresh samples
+};
+
+const char* admission_policy_name(AdmissionPolicy policy);
+/// Parse "shed|defer". Throws std::invalid_argument.
+AdmissionPolicy parse_admission_policy(const std::string& name);
+
+/// Per-round server overload protection: caps how many uplinks a round may
+/// carry, by participant count and/or by an estimated uplink byte budget
+/// (participants x the algorithm's uplink_cost_floats() x 4 bytes). Excess
+/// active clients are chosen deterministically (a round-keyed rotation, so
+/// no client id is systematically starved) and shed or deferred per
+/// `policy`. Unlimited by default — the off-switch leaves every byte of the
+/// legacy path unchanged.
+struct AdmissionConfig {
+  std::size_t max_participants = 0;  // 0 = unlimited
+  double max_uplink_bytes = 0.0;     // 0 = unlimited (per round, estimated)
+  AdmissionPolicy policy = AdmissionPolicy::kShed;
+
+  bool limited() const {
+    return max_participants > 0 || max_uplink_bytes > 0.0;
+  }
+};
 
 struct RoundRecord {
   std::size_t round = 0;
@@ -63,6 +92,31 @@ struct RunOptions {
   /// model's virtual compute times); nullopt or enabled=false leaves the
   /// synchronous path bit-identical.
   std::optional<AsyncConfig> async;
+
+  /// Elastic membership (DESIGN.md §12): a deterministic, seed-derived
+  /// churn engine grows and shrinks the enrolled population mid-run; the
+  /// runner samples from the enrolled set only, and returning clients'
+  /// first accepted uplink is staleness-discounted. nullopt — or a config
+  /// whose trace is empty (zero rates, full initial enrollment) — leaves
+  /// sampling draws, floats, and telemetry bytes unchanged.
+  std::optional<ChurnConfig> churn;
+
+  /// Per-round admission budget (participant / uplink-byte caps); see
+  /// AdmissionConfig. Unlimited by default.
+  AdmissionConfig admission;
+
+  /// Failover drills: simulate a server crash at the end of each listed
+  /// round (once per round) — all in-memory state is discarded and the run
+  /// recovers from the latest checkpoint (or the pre-round-1 baseline
+  /// snapshot) inside the same run_federated call, finishing bit-identical
+  /// to the uncrashed run. Empty = no drills.
+  std::vector<std::size_t> crash_at_rounds;
+
+  /// Threshold->alert hook: when non-null the runner feeds per-round
+  /// derived rates ("fl.reject_rate", "fl.shed_rate") into the watcher,
+  /// which emits "type":"alert" JSONL records on threshold crossings.
+  /// Pure observation. Not owned; must outlive the run.
+  obs::AlertWatcher* alerts = nullptr;
 
   /// Adaptive aggregator escalation: once the suspicious-update fraction
   /// stays above threshold for `patience` rounds, permanently switch the
@@ -139,6 +193,33 @@ struct RunResult {
   std::size_t buffered_remaining = 0;
   /// Rounds aggregated under the escalated rule (EscalationTracker).
   std::size_t rounds_escalated = 0;
+  /// Older parked updates superseded by a newer park from the same client
+  /// (latest-wins dedup): total_parked == total_late_commits +
+  /// buffered_remaining + total_dedup_dropped.
+  std::size_t total_dedup_dropped = 0;
+
+  // Elastic membership totals (all zero with churn off).
+  std::size_t total_joined = 0;
+  std::size_t total_left = 0;
+  std::size_t total_returned = 0;
+  /// Returning clients whose first accepted uplink was staleness-discounted.
+  std::size_t total_returning_discounted = 0;
+
+  // Admission-control totals (all zero with no budget configured).
+  std::size_t total_shed = 0;
+  std::size_t total_deferred = 0;
+
+  // Retry-discipline totals (all zero with backoff off / lossless links).
+  double total_backoff_wait = 0.0;
+  /// Uplinks abandoned after exhausting the retry budget (== the kLost
+  /// rejection total, broken down per client below).
+  std::size_t total_giveups = 0;
+  /// Per-client give-up counts (sized num_clients, zeros on clean paths).
+  std::vector<std::size_t> client_giveups;
+
+  /// Server crashes injected by the failover drill (each recovered from
+  /// the latest checkpoint inside this run).
+  std::size_t crashes_injected = 0;
   /// The latest full-state snapshot (empty when checkpointing is off).
   RunCheckpoint last_checkpoint;
 

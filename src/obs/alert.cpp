@@ -1,0 +1,55 @@
+#include "obs/alert.hpp"
+
+namespace spatl::obs {
+
+void AlertWatcher::add_rule(AlertRule rule) {
+  rules_.push_back(std::move(rule));
+  firing_.push_back(0);
+}
+
+void AlertWatcher::evaluate(std::size_t rule, double value,
+                            std::uint64_t round) {
+  const AlertRule& r = rules_[rule];
+  const bool breached =
+      r.above ? value >= r.threshold : value <= r.threshold;
+  if (!breached) {
+    firing_[rule] = 0;  // back on the good side: re-arm
+    return;
+  }
+  if (firing_[rule]) return;  // sustained breach: already reported
+  firing_[rule] = 1;
+  ++emitted_;
+  if (sink_ == nullptr) return;
+  JsonObject rec;
+  rec.add("type", "alert")
+      .add("rule", r.name)
+      .add("metric", r.metric)
+      .add("value", value)
+      .add("threshold", r.threshold)
+      .add("direction", r.above ? "above" : "below")
+      .add("round", round);
+  sink_->write(rec);
+}
+
+void AlertWatcher::observe(const std::string& metric, double value,
+                           std::uint64_t round) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].metric == metric) evaluate(i, value, round);
+  }
+}
+
+void AlertWatcher::poll(const MetricsSnapshot& snapshot, std::uint64_t round) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const auto gauge = snapshot.gauges.find(rules_[i].metric);
+    if (gauge != snapshot.gauges.end()) {
+      evaluate(i, gauge->second, round);
+      continue;
+    }
+    const auto counter = snapshot.counters.find(rules_[i].metric);
+    if (counter != snapshot.counters.end()) {
+      evaluate(i, double(counter->second), round);
+    }
+  }
+}
+
+}  // namespace spatl::obs

@@ -1,0 +1,64 @@
+// Threshold -> alert hook over the metrics plane (DESIGN.md §10 follow-up).
+//
+// An AlertWatcher holds a small set of declarative threshold rules
+// (metric name, bound, direction) and emits one `"type":"alert"` JSONL
+// record per crossing into the same sink the runner's per-round telemetry
+// uses. Rules are edge-triggered: a rule fires when its metric crosses the
+// threshold and re-arms only after the metric comes back to the good side,
+// so a sustained breach produces one alert, not one per round.
+//
+// Observations arrive two ways: the federated runner feeds derived
+// per-round rates (reject rate, shed rate) through observe(), and poll()
+// evaluates every rule against a MetricsRegistry snapshot (counters and
+// gauges by name) for registry-backed metrics. Pure observation: watching
+// never changes a float of the simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace spatl::obs {
+
+struct AlertRule {
+  std::string name;    // rule id reported in the record, e.g. "reject_high"
+  std::string metric;  // metric it watches, e.g. "fl.reject_rate"
+  double threshold = 0.0;
+  /// true: fire when value >= threshold; false: fire when value <= threshold.
+  bool above = true;
+};
+
+class AlertWatcher {
+ public:
+  /// `sink` is not owned and must outlive the watcher; null disables
+  /// emission (crossings are still counted).
+  explicit AlertWatcher(JsonlWriter* sink) : sink_(sink) {}
+
+  void add_rule(AlertRule rule);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// Feed one observation of `metric`; every rule watching it is evaluated
+  /// and fires (once per crossing) with the given round attached.
+  void observe(const std::string& metric, double value, std::uint64_t round);
+
+  /// Evaluate all rules against a registry snapshot: counters and gauges
+  /// are matched by exact name (a rule whose metric is absent is skipped).
+  void poll(const MetricsSnapshot& snapshot, std::uint64_t round);
+
+  /// Alerts emitted so far (crossings, not breach-rounds).
+  std::size_t alerts_emitted() const { return emitted_; }
+
+ private:
+  void evaluate(std::size_t rule, double value, std::uint64_t round);
+
+  JsonlWriter* sink_;
+  std::vector<AlertRule> rules_;
+  std::vector<std::uint8_t> firing_;  // parallel to rules_: currently breached
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace spatl::obs

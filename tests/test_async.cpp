@@ -110,15 +110,15 @@ BufferedUpdate make_update(std::size_t client, std::size_t source,
 
 TEST(StragglerBufferTest, OrdersByCommitThenSourceThenClient) {
   StragglerBuffer buf;
-  buf.park(make_update(2, 3, 5));
-  buf.park(make_update(0, 4, 5));
-  buf.park(make_update(1, 1, 4));
-  buf.park(make_update(0, 3, 5));
+  EXPECT_EQ(buf.park(make_update(2, 3, 5)), 0u);
+  EXPECT_EQ(buf.park(make_update(0, 4, 5)), 0u);
+  EXPECT_EQ(buf.park(make_update(1, 1, 4)), 0u);
+  EXPECT_EQ(buf.park(make_update(3, 3, 5)), 0u);
   ASSERT_EQ(buf.size(), 4u);
   const auto& e = buf.entries();
   EXPECT_EQ(e[0].client, 1u);  // commit 4 first
-  EXPECT_EQ(e[1].client, 0u);  // commit 5, source 3, client 0
-  EXPECT_EQ(e[2].client, 2u);  // commit 5, source 3, client 2
+  EXPECT_EQ(e[1].client, 2u);  // commit 5, source 3, client 2
+  EXPECT_EQ(e[2].client, 3u);  // commit 5, source 3, client 3
   EXPECT_EQ(e[3].client, 0u);  // commit 5, source 4
 
   EXPECT_EQ(buf.due_count(3), 0u);
@@ -133,6 +133,27 @@ TEST(StragglerBufferTest, OrdersByCommitThenSourceThenClient) {
   EXPECT_EQ(buf.size(), 3u);
   EXPECT_EQ(buf.take_due(100).size(), 3u);
   EXPECT_TRUE(buf.empty());
+}
+
+TEST(StragglerBufferTest, ParkDedupsPerClientLatestWins) {
+  // A client that straggles again before its parked update drains
+  // supersedes the stale one: at most one buffered update per client, and
+  // park() reports how many older entries it evicted.
+  StragglerBuffer buf;
+  EXPECT_EQ(buf.park(make_update(0, 2, 4)), 0u);
+  EXPECT_EQ(buf.park(make_update(1, 2, 3)), 0u);
+  EXPECT_EQ(buf.park(make_update(0, 3, 6)), 1u);  // evicts the source-2 park
+  ASSERT_EQ(buf.size(), 2u);
+  // The surviving client-0 entry is the newest one.
+  for (const auto& u : buf.entries()) {
+    if (u.client == 0) {
+      EXPECT_EQ(u.source_round, 3u);
+      EXPECT_EQ(u.commit_round, 6u);
+      EXPECT_EQ(u.values, (std::vector<float>{0.0f, 6.0f}));
+    }
+  }
+  // Other clients' entries are untouched.
+  EXPECT_EQ(buf.due_count(3), 1u);
 }
 
 TEST(StragglerBufferTest, SaveLoadRoundTripsAllFields) {
@@ -243,8 +264,11 @@ TEST(AsyncCommit, StragglersAreParkedAndCommitLate) {
   const auto result = run_federated(algo, opts);
   EXPECT_GT(result.total_parked, 0u);
   EXPECT_GT(result.total_late_commits, 0u);
+  // Every park either commits late, stays buffered, or was superseded by a
+  // newer park from the same client (latest-wins dedup).
   EXPECT_EQ(result.total_parked,
-            result.total_late_commits + result.buffered_remaining);
+            result.total_late_commits + result.buffered_remaining +
+                result.total_dedup_dropped);
   // Deadline rejections are gone on the async path (lag 1 << max_lag 8).
   std::size_t rejected_deadline = 0;
   for (const auto& rec : result.history) {
@@ -530,20 +554,65 @@ TEST(Escalation, TrackerTripsOnceAfterPatienceAndIsSticky) {
   noisy.delivered = 4;
   noisy.rejected_non_finite = 3;
 
-  EXPECT_FALSE(tracker.observe(noisy));  // streak 1
-  EXPECT_FALSE(tracker.observe(quiet));  // streak resets
-  EXPECT_FALSE(tracker.observe(noisy));  // streak 1
-  EXPECT_TRUE(tracker.observe(noisy));   // streak 2: trips exactly once
+  using Action = EscalationTracker::Action;
+  EXPECT_EQ(tracker.observe(noisy), Action::kNone);  // streak 1
+  EXPECT_EQ(tracker.observe(quiet), Action::kNone);  // streak resets
+  EXPECT_EQ(tracker.observe(noisy), Action::kNone);  // streak 1
+  EXPECT_EQ(tracker.observe(noisy), Action::kEscalate);  // trips exactly once
   EXPECT_TRUE(tracker.active());
-  EXPECT_FALSE(tracker.observe(noisy));  // sticky, never re-trips
+  EXPECT_EQ(tracker.observe(noisy), Action::kNone);  // sticky, never re-trips
 
   // Skipped rounds teach nothing: the streak neither grows nor resets.
   EscalationTracker fresh(cfg);
   RoundStats skipped = noisy;
   skipped.skipped = true;
-  EXPECT_FALSE(fresh.observe(noisy));
-  EXPECT_FALSE(fresh.observe(skipped));
-  EXPECT_TRUE(fresh.observe(noisy));
+  EXPECT_EQ(fresh.observe(noisy), Action::kNone);
+  EXPECT_EQ(fresh.observe(skipped), Action::kNone);
+  EXPECT_EQ(fresh.observe(noisy), Action::kEscalate);
+}
+
+TEST(Escalation, ResetDropsBackAndQuietStreakDeescalates) {
+  using Action = EscalationTracker::Action;
+  EscalationConfig cfg;
+  cfg.enabled = true;
+  cfg.suspect_threshold = 0.5;
+  cfg.patience = 1;
+
+  RoundStats quiet;
+  quiet.delivered = 4;
+  RoundStats noisy;
+  noisy.delivered = 4;
+  noisy.rejected_non_finite = 3;
+
+  // Explicit reset: drops the escalation and clears both streaks.
+  EscalationTracker tracker(cfg);
+  EXPECT_EQ(tracker.observe(noisy), Action::kEscalate);
+  EXPECT_TRUE(tracker.active());
+  tracker.reset();
+  EXPECT_FALSE(tracker.active());
+  EXPECT_EQ(tracker.streak(), 0u);
+  EXPECT_EQ(tracker.quiet_streak(), 0u);
+  // And the tracker can trip again afterwards.
+  EXPECT_EQ(tracker.observe(noisy), Action::kEscalate);
+
+  // Opt-in de-escalation after a sustained quiet streak.
+  cfg.reset_after_quiet = 2;
+  EscalationTracker relax(cfg);
+  EXPECT_EQ(relax.observe(noisy), Action::kEscalate);
+  EXPECT_EQ(relax.observe(quiet), Action::kNone);  // quiet 1
+  EXPECT_EQ(relax.observe(noisy), Action::kNone);  // noise resets the quiet streak
+  EXPECT_EQ(relax.observe(quiet), Action::kNone);  // quiet 1
+  EXPECT_EQ(relax.observe(quiet), Action::kDeescalate);  // quiet 2: drops back
+  EXPECT_FALSE(relax.active());
+  // One-way by default: without reset_after_quiet, quiet rounds never drop
+  // the escalation.
+  cfg.reset_after_quiet = 0;
+  EscalationTracker sticky(cfg);
+  EXPECT_EQ(sticky.observe(noisy), Action::kEscalate);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sticky.observe(quiet), Action::kNone);
+  }
+  EXPECT_TRUE(sticky.active());
 }
 
 // --------------------------------------------- per-phase latency histograms --

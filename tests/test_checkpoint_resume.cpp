@@ -258,6 +258,84 @@ TEST(CheckpointResume, FileBackedCheckpointResumesIdentically) {
   EXPECT_EQ(full.total_bytes, resumed.total_bytes);
 }
 
+TEST(CheckpointResume, ChurnTraceAndParkedCohortSurviveResume) {
+  // The hard case: the snapshot is taken with a NON-EMPTY churn trace (the
+  // membership machine is mid-replay, clients departed and pending return
+  // discounts outstanding) AND a mid-flight parked straggler cohort in the
+  // async buffer. Resume must replay both bit-identically.
+  const auto source = small_source();
+
+  const auto make_options = [] {
+    RunOptions opts;
+    opts.rounds = 6;
+    opts.eval_every = 2;
+    opts.sampling_seed = 9;
+    FaultConfig fc;
+    fc.straggler_rate = 0.6;
+    fc.slowdown_factor = 3.0;
+    fc.round_deadline = 2.0;
+    fc.seed = 515;
+    opts.faults = fc;
+    AsyncConfig ac;
+    ac.enabled = true;
+    ac.max_lag = 4;
+    opts.async = ac;
+    ChurnConfig cc;
+    cc.initial_fraction = 0.75;
+    cc.join_rate = 0.4;
+    cc.leave_rate = 0.3;
+    cc.return_rate = 0.5;
+    cc.seed = 99;
+    opts.churn = cc;
+    return opts;
+  };
+
+  common::Rng rng1(37);
+  FlEnvironment env1(source, 6, 0.5, 0.25, rng1);
+  auto straight = make_algorithm("fedavg", env1);
+  const auto full = run_federated(*straight, make_options());
+  // The scenario must actually exercise both subsystems.
+  ASSERT_GT(full.total_parked, 0u);
+  ASSERT_GT(full.total_joined + full.total_left + full.total_returned, 0u);
+
+  common::Rng rng2(37);
+  FlEnvironment env2(source, 6, 0.5, 0.25, rng2);
+  auto first = make_algorithm("fedavg", env2);
+  RunOptions leg1 = make_options();
+  leg1.rounds = 3;
+  leg1.checkpoint_every = 3;
+  const auto half = run_federated(*first, leg1);
+  ASSERT_FALSE(half.last_checkpoint.empty());
+  // The snapshot carries churn state and (when stragglers were in flight)
+  // the parked cohort.
+  EXPECT_NE(half.last_checkpoint.find("run/churn/cursor"), nullptr);
+  if (half.buffered_remaining > 0) {
+    EXPECT_NE(half.last_checkpoint.find("algo/async/n"), nullptr);
+  }
+
+  common::Rng rng3(37);
+  FlEnvironment env3(source, 6, 0.5, 0.25, rng3);
+  auto second = make_algorithm("fedavg", env3);
+  RunOptions leg2 = make_options();
+  leg2.resume = &half.last_checkpoint;
+  const auto resumed = run_federated(*second, leg2);
+
+  const auto wa = global_weights(*straight);
+  const auto wb = global_weights(*second);
+  ASSERT_EQ(wa.size(), wb.size());
+  EXPECT_EQ(std::memcmp(wa.data(), wb.data(), wa.size() * sizeof(float)), 0);
+  EXPECT_EQ(full.final_accuracy, resumed.final_accuracy);
+  EXPECT_EQ(full.total_bytes, resumed.total_bytes);
+  EXPECT_EQ(full.total_parked, resumed.total_parked);
+  EXPECT_EQ(full.total_late_commits, resumed.total_late_commits);
+  EXPECT_EQ(full.buffered_remaining, resumed.buffered_remaining);
+  EXPECT_EQ(full.total_joined, resumed.total_joined);
+  EXPECT_EQ(full.total_left, resumed.total_left);
+  EXPECT_EQ(full.total_returned, resumed.total_returned);
+  EXPECT_EQ(full.total_returning_discounted,
+            resumed.total_returning_discounted);
+}
+
 // --------------------------------------------------------- divergence guard --
 
 TEST(DivergenceGuard, RollsBackExplodedRoundsAndReaggregatesRobustly) {

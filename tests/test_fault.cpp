@@ -189,15 +189,18 @@ TEST(FaultModel, CorruptionKindsPerturbPayload) {
 }
 
 TEST(FaultModel, TransmissionRetriesAreBounded) {
+  RetryPolicy retry;
+  retry.max_retries = 3;
   FaultConfig cfg;
   cfg.loss_rate = 0.0;
-  EXPECT_TRUE(FaultModel(cfg).transmit(1, 0, 3).delivered);
-  EXPECT_EQ(FaultModel(cfg).transmit(1, 0, 3).attempts, 1u);
+  EXPECT_TRUE(FaultModel(cfg).transmit(1, 0, retry).delivered);
+  EXPECT_EQ(FaultModel(cfg).transmit(1, 0, retry).attempts, 1u);
 
   cfg.loss_rate = 1.0;
-  const Transmission t = FaultModel(cfg).transmit(1, 0, 3);
+  const Transmission t = FaultModel(cfg).transmit(1, 0, retry);
   EXPECT_FALSE(t.delivered);
   EXPECT_EQ(t.attempts, 4u);  // first try + 3 retries
+  EXPECT_EQ(t.backoff_wait, 0.0);  // backoff off by default
 }
 
 // ------------------------------------------------------------- runner -----
@@ -397,7 +400,7 @@ TEST(Resilience, RetryPathMetersRetransmittedBytes) {
   fc.seed = 13;
   opts.faults = fc;
   ResilienceConfig rc;
-  rc.max_retries = 3;
+  rc.retry.max_retries = 3;
   opts.resilience = rc;
   const auto lossy_result = run_federated(lossy, opts);
 

@@ -33,6 +33,7 @@
 #include "fl/runner.hpp"
 #include "fl/server_opt.hpp"
 #include "models/checkpoint.hpp"
+#include "obs/alert.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -57,11 +58,22 @@ int usage() {
                "            nan|inf|bitflip] [--fault-loss F] [--fault-seed S]\n"
                "           [--fault-deadline T] [--max-retries N] [--quorum N]\n"
                "           [--max-update-norm F] [--stale-weight F]\n"
+               "           [--retry-backoff T] [--retry-backoff-factor F]\n"
+               "           [--retry-backoff-max T] [--retry-jitter F]\n"
                "           semi-async straggler commit / escalation:\n"
                "           [--async] [--async-stale-weight F]\n"
                "           [--async-max-lag N] [--escalate]\n"
                "           [--escalate-threshold F] [--escalate-patience N]\n"
                "           [--escalate-aggregator median|trimmed|krum|clipped]\n"
+               "           [--escalate-reset-after N]\n"
+               "           elastic membership / admission / failover:\n"
+               "           [--churn-join F] [--churn-leave F]\n"
+               "           [--churn-return F] [--churn-initial F]\n"
+               "           [--churn-stale-weight F] [--churn-staleness-cap N]\n"
+               "           [--churn-seed S] [--admit-max-participants N]\n"
+               "           [--admit-max-uplink-bytes B]\n"
+               "           [--admit-policy shed|defer] [--crash-at R1,R2,...]\n"
+               "           [--alert-reject-rate F] [--alert-shed-rate F]\n"
                "           Byzantine attacks / robust aggregation:\n"
                "           [--byz-fraction F] [--byz-attack signflip|scale|\n"
                "            noise|collude] [--byz-scale F] [--byz-noise F]\n"
@@ -185,13 +197,20 @@ int cmd_train(const common::Flags& flags) {
   const bool resilience_flags =
       flags.has("quorum") || flags.has("max-update-norm") ||
       flags.has("stale-weight") || flags.has("max-retries") ||
+      flags.has("retry-backoff") || flags.has("retry-jitter") ||
       flags.has("aggregator");
   if (resilience_flags || ro.faults) {
     fl::ResilienceConfig rc;
     rc.min_quorum = std::size_t(flags.get_int("quorum", 1));
     rc.max_update_norm = flags.get_double("max-update-norm", 0.0);
     rc.stale_weight = flags.get_double("stale-weight", rc.stale_weight);
-    rc.max_retries = std::size_t(flags.get_int("max-retries", 2));
+    rc.retry.max_retries = std::size_t(flags.get_int("max-retries", 2));
+    rc.retry.backoff_base = flags.get_double("retry-backoff", 0.0);
+    rc.retry.backoff_factor =
+        flags.get_double("retry-backoff-factor", rc.retry.backoff_factor);
+    rc.retry.backoff_max =
+        flags.get_double("retry-backoff-max", rc.retry.backoff_max);
+    rc.retry.jitter = flags.get_double("retry-jitter", 0.0);
     rc.aggregator = fl::parse_aggregator_kind(flags.get("aggregator", "mean"));
     rc.trim_fraction = flags.get_double("trim-fraction", rc.trim_fraction);
     rc.krum_f = std::size_t(flags.get_int("krum-f", 0));
@@ -218,6 +237,48 @@ int cmd_train(const common::Flags& flags) {
         flags.get_int("escalate-patience", int(ro.escalation.patience)));
     ro.escalation.aggregator = fl::parse_aggregator_kind(
         flags.get("escalate-aggregator", "median"));
+    ro.escalation.reset_after_quiet = std::size_t(
+        flags.get_int("escalate-reset-after",
+                      int(ro.escalation.reset_after_quiet)));
+  }
+
+  // Elastic membership (DESIGN.md §12): any churn rate (or partial initial
+  // enrollment) turns on the deterministic churn engine.
+  fl::ChurnConfig cc;
+  cc.join_rate = flags.get_double("churn-join", 0.0);
+  cc.leave_rate = flags.get_double("churn-leave", 0.0);
+  cc.return_rate = flags.get_double("churn-return", 0.0);
+  cc.initial_fraction = flags.get_double("churn-initial", 1.0);
+  cc.return_stale_weight =
+      flags.get_double("churn-stale-weight", cc.return_stale_weight);
+  cc.staleness_cap = std::size_t(
+      flags.get_int("churn-staleness-cap", int(cc.staleness_cap)));
+  if (flags.has("churn-seed")) {
+    cc.seed = std::uint64_t(flags.get_int("churn-seed", 0));
+  }
+  if (cc.any_churn()) ro.churn = cc;
+
+  // Per-round admission budget (participant / uplink-byte caps).
+  ro.admission.max_participants =
+      std::size_t(flags.get_int("admit-max-participants", 0));
+  ro.admission.max_uplink_bytes =
+      flags.get_double("admit-max-uplink-bytes", 0.0);
+  ro.admission.policy =
+      fl::parse_admission_policy(flags.get("admit-policy", "shed"));
+
+  // Failover drills: comma-separated crash rounds.
+  const std::string crash_at = flags.get("crash-at");
+  if (!crash_at.empty()) {
+    std::size_t pos = 0;
+    while (pos < crash_at.size()) {
+      std::size_t comma = crash_at.find(',', pos);
+      if (comma == std::string::npos) comma = crash_at.size();
+      const std::string tok = crash_at.substr(pos, comma - pos);
+      if (!tok.empty()) {
+        ro.crash_at_rounds.push_back(std::size_t(std::stoul(tok)));
+      }
+      pos = comma + 1;
+    }
   }
 
   ro.fault_aware_sampling = flags.get_bool("fault-aware-sampling", false);
@@ -246,6 +307,19 @@ int cmd_train(const common::Flags& flags) {
         std::max(1, int(flags.get_int("telemetry-every", 1))));
   }
   if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
+
+  // Threshold -> alert hook: alert records share the telemetry sink (or
+  // are just counted when no --metrics-out was given).
+  obs::AlertWatcher alerts(telemetry.get());
+  if (flags.has("alert-reject-rate")) {
+    alerts.add_rule({"reject_high", "fl.reject_rate",
+                     flags.get_double("alert-reject-rate", 0.5), true});
+  }
+  if (flags.has("alert-shed-rate")) {
+    alerts.add_rule({"shed_high", "fl.shed_rate",
+                     flags.get_double("alert-shed-rate", 0.5), true});
+  }
+  if (alerts.rule_count() > 0) ro.alerts = &alerts;
 
   const auto result = fl::run_federated(
       *algorithm, ro, [&](std::size_t round, const fl::RoundRecord& rec) {
@@ -277,6 +351,10 @@ int cmd_train(const common::Flags& flags) {
       std::printf("escalation: %zu rounds under the escalated aggregator\n",
                   result.rounds_escalated);
     }
+    if (result.total_backoff_wait > 0.0 || result.total_giveups > 0) {
+      std::printf("retry discipline: %.2f total backoff wait, %zu give-ups\n",
+                  result.total_backoff_wait, result.total_giveups);
+    }
     if (result.total_attacked > 0 || result.total_suspected > 0 ||
         result.rounds_rolled_back > 0) {
       std::printf(
@@ -285,6 +363,25 @@ int cmd_train(const common::Flags& flags) {
           result.total_attacked, result.total_suspected,
           result.rounds_rolled_back);
     }
+  }
+  if (ro.churn) {
+    std::printf(
+        "churn: %zu joined, %zu left, %zu returned, %zu returning "
+        "uplinks discounted\n",
+        result.total_joined, result.total_left, result.total_returned,
+        result.total_returning_discounted);
+  }
+  if (ro.admission.limited()) {
+    std::printf("admission: %zu shed, %zu deferred (%s policy)\n",
+                result.total_shed, result.total_deferred,
+                fl::admission_policy_name(ro.admission.policy));
+  }
+  if (result.crashes_injected > 0) {
+    std::printf("failover: %zu server crashes injected and recovered\n",
+                result.crashes_injected);
+  }
+  if (ro.alerts != nullptr) {
+    std::printf("alerts: %zu emitted\n", alerts.alerts_emitted());
   }
   if (result.checkpoints_written > 0) {
     std::printf("checkpoints: %zu written%s%s\n", result.checkpoints_written,
