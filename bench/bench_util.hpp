@@ -21,6 +21,7 @@
 #include "data/synthetic.hpp"
 #include "fl/runner.hpp"
 #include "models/split_model.hpp"
+#include "nn/module.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -177,6 +178,7 @@ struct AlgoRun {
   std::vector<double> client_flops_ratios;  // spatl only
   std::vector<double> client_sparsities;    // spatl only
   std::vector<double> per_client_accuracy;
+  std::vector<float> final_weights;  // only with RunSpec::capture_weights
 };
 
 struct RunSpec {
@@ -198,6 +200,21 @@ struct RunSpec {
   std::optional<fl::ChurnConfig> churn;
   /// Per-round admission budget (bench_churn); unlimited by default.
   fl::AdmissionConfig admission;
+  /// Failover drills (bench_chaos): server crashes at the end of these
+  /// rounds, recovered from the durable store / baseline inside the run.
+  std::vector<std::size_t> crash_at_rounds;
+  /// Checkpoint cadence (0 = off); required for the drills to have
+  /// anything durable to recover from.
+  std::size_t checkpoint_every = 0;
+  /// Durable generational checkpoint store (bench_chaos); unset = legacy
+  /// in-memory failover only.
+  std::optional<fl::store::StoreConfig> ckpt_store;
+  /// Storage IO hook — bench_chaos points this at a FaultyStoreIo to tear
+  /// and corrupt the store's writes. Borrowed; null = real filesystem.
+  fl::store::StoreIo* store_io = nullptr;
+  /// Capture the final global weights into AlgoRun::final_weights (the
+  /// chaos bench memcmps crashed runs against their uncrashed twins).
+  bool capture_weights = false;
 };
 
 // --- shared resilience-bench baseline -------------------------------------
@@ -271,6 +288,10 @@ inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
   ro.async = spec.async;
   ro.churn = spec.churn;
   ro.admission = spec.admission;
+  ro.crash_at_rounds = spec.crash_at_rounds;
+  ro.checkpoint_every = spec.checkpoint_every;
+  ro.ckpt_store = spec.ckpt_store;
+  ro.store_io = spec.store_io;
   ro.telemetry = g_telemetry_sink;
   ro.telemetry_every = g_telemetry_every;
 
@@ -293,6 +314,9 @@ inline AlgoRun run_algorithm(const std::string& algo, const RunSpec& spec,
   }
   if (spec.capture_per_client) {
     run.per_client_accuracy = algorithm->per_client_accuracy();
+  }
+  if (spec.capture_weights) {
+    run.final_weights = nn::flatten_values(algorithm->global_model().all_params());
   }
   return run;
 }

@@ -10,9 +10,10 @@
 #       ctest, no sanitizers. The quick pre-commit loop. Default: build.
 #       New suites register through tests/CMakeLists.txt and ride along
 #       automatically (e.g. tests/test_async.cpp's semi-async buffer,
-#       quorum-attribution, and mid-buffer resume suites, and
+#       quorum-attribution, and mid-buffer resume suites,
 #       tests/test_churn.cpp's churn / admission / retry / failover /
-#       alert suites).
+#       alert suites, and tests/test_store.cpp's durable-store /
+#       storage-chaos suites plus the bench_chaos smoke drill).
 #
 #   scripts/check.sh --thread [build-dir]  race tier: ThreadSanitizer build
 #       (TSan cannot be combined with ASan, so it gets its own tree) running
@@ -22,7 +23,9 @@
 #
 #   scripts/check.sh --lint [build-dir]    static tier: spatl_lint repo
 #       invariants (always) + clang-tidy over src/ against the exported
-#       compile_commands.json (when clang-tidy is installed). Default: build.
+#       compile_commands.json (when clang-tidy is installed; its major
+#       version must match CLANG_TIDY_MAJOR_PIN below or the tier fails
+#       loudly). Default: build.
 #
 #   scripts/check.sh --all                 every tier in sequence — the
 #       pre-merge gate.
@@ -75,16 +78,35 @@ run_thread() {
   echo "thread-sanitizer check passed"
 }
 
+# clang-tidy is an optional tier, but when it runs it must run a known
+# checker set: different majors enable different checks, so an unpinned
+# binary silently diverges between machines. Bump deliberately, in lockstep
+# with a clean run over the tree.
+CLANG_TIDY_MAJOR_PIN=18
+
 run_lint() {
   local dir="${1:-build}"
   cmake -B "$dir" -S . -DSPATL_WERROR=ON
   cmake --build "$dir" -j "$NPROC" --target spatl_lint
   "$dir"/tools/spatl_lint .
   if command -v clang-tidy >/dev/null 2>&1; then
+    # Fail loudly on version drift instead of quietly linting with a
+    # different checker set than the pin was validated against.
+    local major
+    major="$(clang-tidy --version | sed -n 's/.*version \([0-9][0-9]*\)\..*/\1/p' | head -n 1)"
+    if [ -z "$major" ]; then
+      echo "error: cannot parse clang-tidy version (wanted major $CLANG_TIDY_MAJOR_PIN)" >&2
+      exit 1
+    fi
+    if [ "$major" != "$CLANG_TIDY_MAJOR_PIN" ]; then
+      echo "error: clang-tidy major version $major != pinned $CLANG_TIDY_MAJOR_PIN" >&2
+      echo "       (update CLANG_TIDY_MAJOR_PIN in scripts/check.sh together with a clean run)" >&2
+      exit 1
+    fi
     # .clang-tidy at the repo root selects bugprone/concurrency/performance.
     find src -name '*.cpp' -print0 |
       xargs -0 -P "$NPROC" -n 8 clang-tidy -p "$dir" --quiet
-    echo "clang-tidy passed"
+    echo "clang-tidy $major passed"
   else
     echo "clang-tidy not installed; skipped (spatl_lint still enforced)"
   fi

@@ -1,7 +1,11 @@
 #include "fl/checkpoint.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
+
+#include "fl/store/error.hpp"
+#include "fl/store/format.hpp"
 
 namespace spatl::fl {
 
@@ -19,7 +23,20 @@ void append_u64(std::vector<float>& out, std::uint64_t word) {
 std::uint64_t read_u64(const std::vector<float>& chunks, std::size_t base) {
   std::uint64_t word = 0;
   for (int k = 0; k < 4; ++k) {
-    word |= std::uint64_t(chunks[base + std::size_t(k)]) << (16 * k);
+    const float c = chunks[base + std::size_t(k)];
+    // A valid chunk is an exact 16-bit integer by construction (append_u64
+    // above). Anything else — NaN/Inf, a fraction, a value outside
+    // [0, 65535] — means the tensor was corrupted after packing, and the
+    // silent float->u64 cast of the original code would have produced a
+    // plausible-looking wrong word (undefined behaviour for NaN/Inf).
+    if (!std::isfinite(c) || c != std::floor(c) || c < 0.0f ||
+        c > 65535.0f) {
+      throw store::CheckpointError(
+          "", "",
+          "unpack_u64s: chunk " + std::to_string(base + std::size_t(k)) +
+              " is not an integral float in [0, 65535]");
+    }
+    word |= std::uint64_t(c) << (16 * k);
   }
   return word;
 }
@@ -113,11 +130,13 @@ const tensor::Tensor& RunCheckpoint::at(const std::string& name) const {
 }
 
 void RunCheckpoint::save(const std::string& path) const {
-  tensor::save_tensors(path, entries);
+  // Routed through the store's atomic tmp+rename protocol; the final file
+  // bytes are the plain tensor container, unchanged from the direct write.
+  store::save_legacy_checkpoint(path, entries);
 }
 
 RunCheckpoint RunCheckpoint::load(const std::string& path) {
-  return RunCheckpoint{tensor::load_tensors(path)};
+  return RunCheckpoint{store::load_legacy_checkpoint(path)};
 }
 
 }  // namespace spatl::fl

@@ -57,7 +57,9 @@ struct RunCheckpoint {
   /// Lookup that throws std::runtime_error when absent (corrupt file).
   const tensor::Tensor& at(const std::string& name) const;
 
-  /// Persist to / recover from disk (tensor container format).
+  /// Persist to / recover from disk (plain tensor container format, written
+  /// atomically via the fl/store tmp+rename protocol). For CRC-verified
+  /// generational storage use store::CheckpointStore instead.
   void save(const std::string& path) const;
   static RunCheckpoint load(const std::string& path);
 };

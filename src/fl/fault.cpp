@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "fl/store/error.hpp"
 
 namespace spatl::fl {
 
@@ -21,6 +22,7 @@ enum class Stream : std::uint64_t {
   kByzantine = 0x4ULL,  // membership: keyed on client only (round = 0)
   kAttack = 0x5ULL,     // per-round attack noise draws
   kBackoff = 0x6ULL,    // retry-backoff jitter (never touches kLoss draws)
+  kStorage = 0x7ULL,    // storage faults: keyed on write sequence, client 0
 };
 
 /// Order-independent per-decision generator: the seed is mixed with the
@@ -249,6 +251,79 @@ bool FaultModel::corrupt(std::size_t round, std::size_t client,
     }
   }
   return true;
+}
+
+// --- storage faults -------------------------------------------------------
+
+FaultyStoreIo::FaultyStoreIo(StorageFaultConfig config, store::StoreIo* inner)
+    : config_(config),
+      inner_(inner != nullptr ? inner : &store::default_store_io()) {}
+
+void FaultyStoreIo::write_file(const std::string& path,
+                               const std::string& bytes) {
+  const std::size_t op = writes_++;
+  auto rng = keyed_rng(config_.seed, op, 0, Stream::kStorage);
+  // All decisions and their parameters are drawn unconditionally, so which
+  // branch fires never shifts the draws of a later write.
+  const bool io_error = rng.bernoulli(config_.io_error_rate);
+  const bool torn = rng.bernoulli(config_.torn_write_rate);
+  const bool corrupt = rng.bernoulli(config_.corrupt_rate);
+  const double cut_fraction = rng.uniform();
+  const double flip_fraction = rng.uniform();
+  const std::size_t flip_bit = std::size_t(rng.uniform_index(8));
+
+  if (io_error) {
+    ++io_errors_;
+    // The device fills mid-write: a prefix lands, then the write fails
+    // loudly. The store's atomic protocol leaves the previous good file
+    // untouched (only the tmp file is damaged).
+    const std::size_t kept = std::size_t(cut_fraction * double(bytes.size()));
+    inner_->write_file(path, bytes.substr(0, kept));
+    throw store::CheckpointError(
+        path, "",
+        "simulated ENOSPC: short write (" + std::to_string(kept) + " of " +
+            std::to_string(bytes.size()) + " bytes)");
+  }
+  std::string actual = bytes;
+  if (torn && !actual.empty()) {
+    ++torn_;
+    // Torn write: the tail never reaches the platter, but the caller sees
+    // success — the crash-between-write-and-sync failure mode.
+    actual.resize(std::size_t(cut_fraction * double(actual.size())));
+  }
+  if (corrupt && !actual.empty()) {
+    ++corrupted_;
+    const std::size_t idx = std::min(
+        actual.size() - 1, std::size_t(flip_fraction * double(actual.size())));
+    actual[idx] = char(static_cast<unsigned char>(actual[idx]) ^
+                       static_cast<unsigned char>(1u << flip_bit));
+  }
+  inner_->write_file(path, actual);
+}
+
+std::string FaultyStoreIo::read_file(const std::string& path) {
+  return inner_->read_file(path);
+}
+
+void FaultyStoreIo::rename_file(const std::string& from,
+                                const std::string& to) {
+  inner_->rename_file(from, to);
+}
+
+void FaultyStoreIo::remove_file(const std::string& path) {
+  inner_->remove_file(path);
+}
+
+bool FaultyStoreIo::exists(const std::string& path) {
+  return inner_->exists(path);
+}
+
+void FaultyStoreIo::create_directories(const std::string& dir) {
+  inner_->create_directories(dir);
+}
+
+std::vector<std::string> FaultyStoreIo::list_dir(const std::string& dir) {
+  return inner_->list_dir(dir);
 }
 
 void RoundStats::add(RejectReason reason) {

@@ -19,9 +19,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fl/robust.hpp"
+#include "fl/store/io.hpp"
 
 namespace spatl::fl {
 
@@ -250,6 +252,64 @@ class FaultModel {
  private:
   FaultConfig config_;
   bool enabled_ = false;
+};
+
+// --- storage faults -------------------------------------------------------
+
+/// Deterministic storage-fault injection for the durable checkpoint store
+/// (DESIGN.md §13). Every decision is keyed on (seed, write sequence
+/// number) through the same splitmix64 mixing as the client fault streams,
+/// so a chaos run's disk damage is replayable byte for byte.
+struct StorageFaultConfig {
+  /// Per-write probability the write is torn: the file is silently
+  /// truncated at a drawn byte offset (the crash-between-write-and-sync
+  /// model — the caller sees success, the bytes are short).
+  double torn_write_rate = 0.0;
+  /// Per-write probability one drawn bit of the written file is flipped
+  /// (latent media corruption — again reported as success).
+  double corrupt_rate = 0.0;
+  /// Per-write probability the device fills mid-write: a prefix lands on
+  /// disk and the write FAILS with a typed CheckpointError (the simulated
+  /// ENOSPC / short-write path — the only loud failure mode).
+  double io_error_rate = 0.0;
+  std::uint64_t seed = 0x510FA17ULL;
+
+  bool any() const {
+    return torn_write_rate > 0.0 || corrupt_rate > 0.0 || io_error_rate > 0.0;
+  }
+};
+
+/// StoreIo decorator injecting StorageFaultConfig's failure modes into
+/// write_file; every other operation passes through untouched. Reads are
+/// deliberately clean: damage is injected once, at write time, and then
+/// *persists* — exactly like a real torn write — so the recovery ladder
+/// sees the same corrupt bytes on every attempt.
+class FaultyStoreIo : public store::StoreIo {
+ public:
+  /// `inner` null = the real filesystem. Borrowed; must outlive this.
+  explicit FaultyStoreIo(StorageFaultConfig config,
+                         store::StoreIo* inner = nullptr);
+
+  void write_file(const std::string& path, const std::string& bytes) override;
+  std::string read_file(const std::string& path) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void create_directories(const std::string& dir) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+
+  std::size_t writes() const { return writes_; }
+  std::size_t torn_writes() const { return torn_; }
+  std::size_t corrupted_writes() const { return corrupted_; }
+  std::size_t io_errors() const { return io_errors_; }
+
+ private:
+  StorageFaultConfig config_;
+  store::StoreIo* inner_;
+  std::size_t writes_ = 0;  // injection key: write sequence number
+  std::size_t torn_ = 0;
+  std::size_t corrupted_ = 0;
+  std::size_t io_errors_ = 0;
 };
 
 /// Per-round participation and failure statistics (merged into RoundRecord

@@ -150,6 +150,41 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   EscalationTracker escalation(opts.escalation);
   const bool guard = opts.divergence_factor > 0.0;
 
+  // Durable generational store: periodic checkpoints are additionally
+  // committed as CRC-verified generations, and the failover drill recovers
+  // through the ladder instead of trusting in-memory state.
+  std::optional<store::CheckpointStore> store;
+  if (opts.ckpt_store && opts.ckpt_store->enabled()) {
+    store.emplace(*opts.ckpt_store, opts.store_io, opts.telemetry);
+  }
+
+  // Attack-aware Krum f auto-tuning: per-client count of rounds in which
+  // the robust aggregator excluded the client. Repeat suspects (>= 2
+  // rounds) estimate the live Byzantine population; one-off exclusions are
+  // Krum's normal selection noise and are ignored.
+  const bool krum_auto = opts.krum_auto_f && defended;
+  std::vector<std::uint64_t> suspect_rounds(num_clients, 0);
+  result.krum_f_estimate = resilience.krum_f;
+  const auto retune_krum = [&]() {
+    if (!krum_auto) return;
+    std::size_t estimate = 0;
+    for (const std::uint64_t r : suspect_rounds) {
+      if (r >= 2) ++estimate;
+    }
+    // Krum needs n - f - 2 >= 1 scoring neighbours; clamp against the
+    // nominal cohort so a noisy ledger can never wedge the aggregator.
+    const std::size_t upper = per_round > 3 ? per_round - 3 : 0;
+    const std::size_t f =
+        std::max(resilience.krum_f, std::min(estimate, upper));
+    result.krum_f_estimate = f;
+    if (f != current.krum_f) {
+      current.krum_f = f;
+      algo.set_fault_injection(faults ? &*faults : nullptr, current);
+      common::log_debug(algo.name(), " krum auto-tune: f -> ", f, " (",
+                        estimate, " repeat suspect(s))");
+    }
+  };
+
   // Elastic membership: the engine materializes its deterministic trace up
   // front; the runner replays it round by round and samples from the
   // enrolled set only. At full enrollment the index map is the identity and
@@ -220,6 +255,9 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       std::vector<std::uint64_t> q(defer_queue.begin(), defer_queue.end());
       ckpt.entries.push_back(pack_u64s("run/admission_carryover", q));
     }
+    if (krum_auto) {
+      ckpt.entries.push_back(pack_u64s("run/krum_ledger", suspect_rounds));
+    }
     if (churn) churn->save(ckpt, "run/churn/");
     if (result.total_giveups > 0) {
       std::vector<std::uint64_t> g(result.client_giveups.begin(),
@@ -288,6 +326,17 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
     }
     if (defended) {
       algo.set_fault_injection(faults ? &*faults : nullptr, current);
+    }
+    if (krum_auto) {
+      suspect_rounds.assign(num_clients, 0);
+      if (const auto* t = ckpt.find("run/krum_ledger")) {
+        const auto v = unpack_u64s(*t);
+        for (std::size_t i = 0;
+             i < std::min<std::size_t>(v.size(), num_clients); ++i) {
+          suspect_rounds[i] = v[i];
+        }
+      }
+      retune_krum();
     }
     defer_queue.clear();
     if (const auto* t = ckpt.find("run/admission_carryover")) {
@@ -566,6 +615,19 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       }
       accumulate(result, stats);
 
+      if (krum_auto && !stats.suspects.empty()) {
+        // One ledger tick per client per round, however many aggregate
+        // calls excluded it (multi-tensor algorithms may call the robust
+        // rule more than once).
+        std::vector<std::size_t> uniq = stats.suspects;
+        std::sort(uniq.begin(), uniq.end());
+        uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+        for (const std::size_t c : uniq) {
+          if (c < num_clients) ++suspect_rounds[c];
+        }
+        retune_krum();
+      }
+
       // Threshold->alert hook: derived per-round rates, fed only when a
       // watcher is installed (pure observation).
       if (opts.alerts != nullptr) {
@@ -620,6 +682,16 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
         SPATL_TRACE_SPAN("fl/checkpoint");
         RunCheckpoint ckpt = write_checkpoint(round);
         if (!opts.checkpoint_path.empty()) ckpt.save(opts.checkpoint_path);
+        if (store) {
+          // A rejected commit (ENOSPC, failed read-back verification) is
+          // counted and moved past — the previous generations still stand,
+          // and the in-memory snapshot below keeps the legacy path whole.
+          if (store->commit(round, ckpt)) {
+            ++result.store_commits;
+          } else {
+            ++result.store_commit_failures;
+          }
+        }
         result.last_checkpoint = std::move(ckpt);
         ++result.checkpoints_written;
       }
@@ -725,9 +797,32 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
     if (drills && round < crash_fired.size() &&
         contains(opts.crash_at_rounds, round) && !crash_fired[round]) {
       crash_fired[round] = 1;
-      const RunCheckpoint& source =
-          result.last_checkpoint.empty() ? baseline : result.last_checkpoint;
-      const std::size_t recovered = restore_checkpoint(source);
+      std::size_t recovered = 0;
+      std::string crash_source;
+      if (store) {
+        // Durable-first recovery: a real crash loses the process, so the
+        // in-memory snapshot is off limits — the generational ladder
+        // decides what survives, and only when every generation is corrupt
+        // (or none was ever committed) does the drill fall back to the
+        // deterministic pre-loop baseline.
+        const store::RecoveryOutcome rec = store->recover_latest(
+            [&](const RunCheckpoint& c, const store::Generation&) {
+              recovered = restore_checkpoint(c);
+            });
+        result.recovery_attempts_failed += rec.failed_attempts;
+        if (rec.applied) {
+          ++result.recoveries_from_store;
+          crash_source = "store";
+        } else {
+          recovered = restore_checkpoint(baseline);
+          crash_source = "baseline";
+        }
+      } else {
+        const RunCheckpoint& source =
+            result.last_checkpoint.empty() ? baseline
+                                           : result.last_checkpoint;
+        recovered = restore_checkpoint(source);
+      }
       ++result.crashes_injected;
       while (!result.history.empty() &&
              result.history.back().round > recovered) {
@@ -743,6 +838,8 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
             .add("algo", algo.name())
             .add("round", std::uint64_t(round))
             .add("recovered_to", std::uint64_t(recovered));
+        // Feature-gated so store-off crash records keep the legacy bytes.
+        if (!crash_source.empty()) rec.add("source", crash_source);
         opts.telemetry->write(rec);
       }
       common::log_debug(algo.name(), " server crash injected at round ",

@@ -24,6 +24,7 @@
 #include "fl/comm.hpp"
 #include "fl/fault.hpp"
 #include "fl/robust.hpp"
+#include "fl/store/store.hpp"
 
 namespace spatl::obs {
 class AlertWatcher;
@@ -141,6 +142,28 @@ struct RunOptions {
   std::string checkpoint_path;
   const RunCheckpoint* resume = nullptr;  // not owned; may be null
 
+  /// Durable generational checkpoint store (DESIGN.md §13): when set (and
+  /// dir non-empty), every periodic checkpoint is additionally committed as
+  /// a round-stamped, CRC-verified generation under `ckpt_store->dir`
+  /// (atomic tmp+rename, keep-last-K pruning), and the failover drill
+  /// recovers through the generational ladder — newest generation first,
+  /// stepping down past any that fail verification — instead of trusting
+  /// the in-memory snapshot. nullopt = legacy behaviour, byte for byte.
+  std::optional<store::StoreConfig> ckpt_store;
+  /// Storage IO hook for the store (chaos drills inject torn writes / bit
+  /// corruption / ENOSPC through a FaultyStoreIo here). Null = the real
+  /// filesystem. Not owned; must outlive the run.
+  store::StoreIo* store_io = nullptr;
+
+  /// Attack-aware Krum f auto-tuning: maintain a per-client suspicion
+  /// ledger from the robust aggregator's exclusions and, whenever the
+  /// active rule is Krum, re-arm its assumed-Byzantine bound f with the
+  /// number of repeat suspects (excluded in >= 2 rounds), clamped to
+  /// [resilience.krum_f, participants - 3]. The ledger rides checkpoints
+  /// as "run/krum_ledger" so resumed runs keep their estimate. Off = the
+  /// configured krum_f is never touched (bit-identical legacy path).
+  bool krum_auto_f = false;
+
   /// Divergence guard: when > 0, evaluate after every round; if the average
   /// loss is non-finite or exceeds `divergence_factor` times the previous
   /// round's loss, roll the round back (model, control state, ledger) and
@@ -222,6 +245,20 @@ struct RunResult {
   std::size_t crashes_injected = 0;
   /// The latest full-state snapshot (empty when checkpointing is off).
   RunCheckpoint last_checkpoint;
+
+  // Durable-store totals (all zero with no ckpt_store configured).
+  std::size_t store_commits = 0;          // generations durably published
+  std::size_t store_commit_failures = 0;  // commits the store rejected
+  /// Crash recoveries served by an on-disk generation (the remainder of
+  /// crashes_injected fell back to the in-memory baseline snapshot).
+  std::size_t recoveries_from_store = 0;
+  /// Generations the recovery ladder rejected (corrupt file or failed
+  /// restore) on its way to an older good one.
+  std::size_t recovery_attempts_failed = 0;
+
+  /// Final auto-tuned Krum f (== the configured krum_f when krum_auto_f is
+  /// off or nothing was repeatedly suspected).
+  std::size_t krum_f_estimate = 0;
 
   /// Final ledger counters (total_bytes / retransmitted_bytes above are
   /// derived from this snapshot rather than re-summed by hand).

@@ -1,0 +1,46 @@
+// Typed checkpoint failure: which file, which entry, and why.
+//
+// Every detectable storage problem in the durable checkpoint path — a torn
+// write discovered via CRC mismatch, an implausible header field, a chunk
+// that cannot be a packed 16-bit value — surfaces as a CheckpointError so
+// callers (the recovery ladder, the CLI, tests) can attribute the failure
+// instead of pattern-matching std::runtime_error::what() strings.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spatl::fl::store {
+
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(std::string path, std::string entry, std::string reason)
+      : std::runtime_error(format(path, entry, reason)),
+        path_(std::move(path)),
+        entry_(std::move(entry)),
+        reason_(std::move(reason)) {}
+
+  /// File involved; empty when the failure is not bound to a file (e.g. a
+  /// bad packed chunk in an in-memory tensor).
+  const std::string& path() const { return path_; }
+  /// Entry name or index context; empty for whole-file failures.
+  const std::string& entry() const { return entry_; }
+  /// Human-readable cause ("payload CRC mismatch", "truncated footer", ...).
+  const std::string& reason() const { return reason_; }
+
+ private:
+  static std::string format(const std::string& path, const std::string& entry,
+                            const std::string& reason) {
+    std::string msg = "checkpoint error";
+    if (!path.empty()) msg += " [" + path + "]";
+    if (!entry.empty()) msg += " entry '" + entry + "'";
+    msg += ": " + reason;
+    return msg;
+  }
+
+  std::string path_;
+  std::string entry_;
+  std::string reason_;
+};
+
+}  // namespace spatl::fl::store

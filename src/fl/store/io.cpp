@@ -1,0 +1,97 @@
+#include "fl/store/io.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "fl/store/error.hpp"
+
+namespace spatl::fl::store {
+
+namespace fs = std::filesystem;
+
+void FileStoreIo::write_file(const std::string& path,
+                             const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw CheckpointError(path, "", "cannot open for writing");
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+  out.flush();
+  if (!out) throw CheckpointError(path, "", "write failed");
+}
+
+std::string FileStoreIo::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError(path, "", "cannot open for reading");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) throw CheckpointError(path, "", "read failed");
+  return bytes;
+}
+
+void FileStoreIo::rename_file(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    throw CheckpointError(to, "", "rename from " + from + " failed: " +
+                                      ec.message());
+  }
+}
+
+void FileStoreIo::remove_file(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // missing file reports success with remove()
+  if (ec) throw CheckpointError(path, "", "remove failed: " + ec.message());
+}
+
+bool FileStoreIo::exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+void FileStoreIo::create_directories(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw CheckpointError(dir, "", "create_directories failed: " +
+                                       ec.message());
+  }
+}
+
+std::vector<std::string> FileStoreIo::list_dir(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  fs::directory_iterator it(dir, ec);
+  if (ec) throw CheckpointError(dir, "", "list_dir failed: " + ec.message());
+  for (const auto& entry : it) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StoreIo& default_store_io() {
+  static FileStoreIo io;
+  return io;
+}
+
+void atomic_write_file(StoreIo& io, const std::string& path,
+                       const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  try {
+    io.write_file(tmp, bytes);
+  } catch (...) {
+    try {
+      io.remove_file(tmp);
+    } catch (...) {
+      // Best effort: the original error is the one worth reporting.
+    }
+    throw;
+  }
+  io.rename_file(tmp, path);
+}
+
+}  // namespace spatl::fl::store

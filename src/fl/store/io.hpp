@@ -1,0 +1,65 @@
+// Pluggable storage IO for the durable checkpoint store.
+//
+// Every byte the store reads or writes flows through a StoreIo, so tests
+// and chaos drills can interpose deterministic storage faults (torn writes,
+// bit corruption, simulated ENOSPC — see fl/fault.hpp's FaultyStoreIo)
+// without touching the store logic, and the store itself stays a pure
+// protocol: encode, write-tmp, rename, verify.
+//
+// The atomic commit protocol lives here: atomic_write_file() writes
+// `<path>.tmp`, flushes, then renames over the final path, so a crash (or
+// an injected torn write) mid-commit never clobbers the previous good file
+// — at worst the rename never happens and the tmp file is garbage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spatl::fl::store {
+
+/// Abstract byte-level storage. All methods throw CheckpointError on
+/// failure. Implementations need not be thread-safe; the runner drives the
+/// store from the round loop only.
+class StoreIo {
+ public:
+  virtual ~StoreIo() = default;
+
+  /// Write `bytes` to `path`, creating or truncating it, and flush.
+  virtual void write_file(const std::string& path,
+                          const std::string& bytes) = 0;
+  /// Read the entire file.
+  virtual std::string read_file(const std::string& path) = 0;
+  /// Atomically replace `to` with `from` (POSIX rename semantics).
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+  /// Delete `path`; missing files are not an error (idempotent pruning).
+  virtual void remove_file(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  /// mkdir -p.
+  virtual void create_directories(const std::string& dir) = 0;
+  /// Regular-file names (not paths) directly inside `dir`, sorted
+  /// ascending so scans are deterministic across filesystems.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+};
+
+/// The real filesystem.
+class FileStoreIo : public StoreIo {
+ public:
+  void write_file(const std::string& path, const std::string& bytes) override;
+  std::string read_file(const std::string& path) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void create_directories(const std::string& dir) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+};
+
+/// Process-wide default filesystem IO (used when no hook is injected).
+StoreIo& default_store_io();
+
+/// Atomic commit: write `<path>.tmp` through `io`, then rename onto `path`.
+/// On a write failure the tmp file is removed (best effort) and the error
+/// rethrown — the previous contents of `path`, if any, survive untouched.
+void atomic_write_file(StoreIo& io, const std::string& path,
+                       const std::string& bytes);
+
+}  // namespace spatl::fl::store

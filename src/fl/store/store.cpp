@@ -1,0 +1,187 @@
+#include "fl/store/store.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "fl/store/error.hpp"
+#include "fl/store/format.hpp"
+#include "obs/export.hpp"
+
+namespace spatl::fl::store {
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST.json";
+
+std::string generation_filename(std::size_t round) {
+  std::string digits = std::to_string(round);
+  if (digits.size() < 8) digits.insert(0, 8 - digits.size(), '0');
+  return "ckpt-" + digits + ".spatl";
+}
+
+/// Parse "ckpt-<digits>.spatl"; nullopt for anything else (tmp files, the
+/// manifest, stray content).
+std::optional<std::size_t> parse_generation(const std::string& name) {
+  const std::string prefix = "ckpt-";
+  const std::string suffix = ".spatl";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  std::size_t round = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    round = round * 10 + std::size_t(c - '0');
+  }
+  return round;
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(StoreConfig config, StoreIo* io,
+                                 obs::JsonlWriter* telemetry)
+    : config_(std::move(config)),
+      io_(io != nullptr ? io : &default_store_io()),
+      telemetry_(telemetry) {}
+
+bool CheckpointStore::commit(std::size_t round, const RunCheckpoint& ckpt) {
+  const std::string file = generation_filename(round);
+  const std::string path = join(config_.dir, file);
+  try {
+    io_->create_directories(config_.dir);
+    atomic_write_file(*io_, path, encode_checkpoint(ckpt.entries));
+    if (config_.verify_on_commit) {
+      try {
+        decode_checkpoint(io_->read_file(path), path);
+      } catch (const CheckpointError&) {
+        // Never publish a generation that fails verification: the ladder
+        // would only reject it again at recovery.
+        io_->remove_file(path);
+        throw;
+      }
+    }
+    std::vector<Generation> gens = generations();
+    prune(gens);
+    if (config_.keep_last > 0 && gens.size() > config_.keep_last) {
+      gens.resize(config_.keep_last);
+    }
+    write_manifest(gens);
+    ++commits_;
+    return true;
+  } catch (const CheckpointError& e) {
+    ++commit_failures_;
+    common::log_warn("checkpoint commit for round ", round, " failed: ",
+                     e.what());
+    if (telemetry_ != nullptr) {
+      obs::JsonObject rec;
+      rec.add("type", "recovery")
+          .add("phase", "commit")
+          .add("round", std::uint64_t(round))
+          .add("path", path)
+          .add("ok", false)
+          .add("error", e.reason());
+      telemetry_->write(rec);
+    }
+    return false;
+  }
+}
+
+std::vector<Generation> CheckpointStore::generations() const {
+  std::vector<Generation> gens;
+  std::vector<std::string> names;
+  try {
+    names = io_->list_dir(config_.dir);
+  } catch (const CheckpointError&) {
+    return gens;  // no directory yet = no generations
+  }
+  for (const std::string& name : names) {
+    if (const auto round = parse_generation(name)) {
+      gens.push_back({*round, name, join(config_.dir, name)});
+    }
+  }
+  std::sort(gens.begin(), gens.end(),
+            [](const Generation& a, const Generation& b) {
+              return a.round > b.round;
+            });
+  return gens;
+}
+
+RunCheckpoint CheckpointStore::load(const Generation& gen) const {
+  return RunCheckpoint{decode_checkpoint(io_->read_file(gen.path), gen.path)};
+}
+
+RecoveryOutcome CheckpointStore::recover_latest(
+    const std::function<void(const RunCheckpoint&, const Generation&)>&
+        apply) {
+  RecoveryOutcome out;
+  std::size_t attempt = 0;
+  for (const Generation& gen : generations()) {
+    ++attempt;
+    std::string error;
+    try {
+      const RunCheckpoint ckpt = load(gen);
+      apply(ckpt, gen);
+      out.applied = gen;
+    } catch (const CheckpointError& e) {
+      error = e.reason();
+    } catch (const std::exception& e) {
+      // Structurally valid file whose contents the restore rejected (e.g. a
+      // missing entry or a bad packed chunk) — same ladder step down.
+      error = e.what();
+    }
+    const bool ok = out.applied.has_value();
+    if (!ok) {
+      ++out.failed_attempts;
+      common::log_warn("recovery attempt ", attempt, " from ", gen.path,
+                       " failed: ", error);
+    }
+    if (telemetry_ != nullptr) {
+      obs::JsonObject rec;
+      rec.add("type", "recovery")
+          .add("phase", "load")
+          .add("round", std::uint64_t(gen.round))
+          .add("path", gen.path)
+          .add("attempt", std::uint64_t(attempt))
+          .add("ok", ok);
+      if (!ok) rec.add("error", error);
+      telemetry_->write(rec);
+    }
+    if (ok) break;
+  }
+  return out;
+}
+
+void CheckpointStore::write_manifest(const std::vector<Generation>& gens) {
+  obs::JsonObject manifest;
+  manifest.add("format_version", std::uint64_t(1))
+      .add("keep_last", std::uint64_t(config_.keep_last));
+  std::string arr = "[";
+  // Oldest first, matching the order a reader would replay them in.
+  for (std::size_t i = gens.size(); i-- > 0;) {
+    if (arr.size() > 1) arr += ',';
+    arr += obs::JsonObject()
+               .add("round", std::uint64_t(gens[i].round))
+               .add("file", gens[i].file)
+               .str();
+  }
+  arr += ']';
+  manifest.add_raw("generations", arr);
+  atomic_write_file(*io_, join(config_.dir, kManifestName),
+                    manifest.str() + "\n");
+}
+
+void CheckpointStore::prune(const std::vector<Generation>& gens) {
+  if (config_.keep_last == 0) return;
+  for (std::size_t i = config_.keep_last; i < gens.size(); ++i) {
+    io_->remove_file(gens[i].path);
+  }
+}
+
+}  // namespace spatl::fl::store

@@ -1,0 +1,105 @@
+// Generational durable checkpoint store (DESIGN.md §13).
+//
+// Each commit writes one round-stamped generation file
+// (`ckpt-<round>.spatl`, durable envelope of format.hpp) into a checkpoint
+// directory via the atomic tmp+rename protocol, refreshes a small advisory
+// manifest, and prunes to the newest keep_last generations. Recovery walks
+// the generations newest→oldest, skipping any that fail CRC/structure
+// verification (or whose restore callback throws), and emits one
+// `"type":"recovery"` telemetry record per attempt — so a torn write or
+// bit flip in the newest file degrades recovery to the previous round
+// instead of killing the run.
+//
+// The manifest is advisory only: generation discovery scans the directory
+// for well-formed filenames, so a torn manifest write can never block
+// recovery.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/checkpoint.hpp"
+#include "fl/store/io.hpp"
+
+namespace spatl::obs {
+class JsonlWriter;
+}  // namespace spatl::obs
+
+namespace spatl::fl::store {
+
+struct StoreConfig {
+  /// Checkpoint directory (created on demand). Empty = store disabled.
+  std::string dir;
+  /// Generations retained after each successful commit (0 = unlimited).
+  std::size_t keep_last = 3;
+  /// Read back and fully verify each committed generation; a verification
+  /// failure removes the bad file and fails the commit, so a corrupt
+  /// generation is never published. Off = detect at recovery instead.
+  bool verify_on_commit = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// One on-disk checkpoint generation.
+struct Generation {
+  std::size_t round = 0;
+  std::string file;  // filename inside the store directory
+  std::string path;  // full path
+};
+
+/// Result of a recovery-ladder walk.
+struct RecoveryOutcome {
+  /// The generation that loaded, verified, and applied; nullopt when every
+  /// generation failed (caller falls back to its in-memory baseline).
+  std::optional<Generation> applied;
+  /// Generations rejected on the way down (corrupt file or failed apply).
+  std::size_t failed_attempts = 0;
+};
+
+class CheckpointStore {
+ public:
+  /// `io` null = the real filesystem; `telemetry` null = no records. Both
+  /// borrowed; must outlive the store.
+  CheckpointStore(StoreConfig config, StoreIo* io = nullptr,
+                  obs::JsonlWriter* telemetry = nullptr);
+
+  const StoreConfig& config() const { return config_; }
+
+  /// Commit `ckpt` as the generation for `round`: atomic write, optional
+  /// read-back verification, manifest refresh, keep-last pruning. Returns
+  /// false — after emitting a "recovery" telemetry record with the typed
+  /// failure — when the commit could not be durably published; earlier
+  /// generations are untouched either way.
+  bool commit(std::size_t round, const RunCheckpoint& ckpt);
+
+  /// On-disk generations, newest first (directory scan; manifest ignored).
+  std::vector<Generation> generations() const;
+
+  /// Load and fully verify one generation. Throws CheckpointError.
+  RunCheckpoint load(const Generation& gen) const;
+
+  /// Recovery ladder: walk generations newest→oldest; the first one that
+  /// decodes, verifies, and survives `apply` wins. One "type":"recovery"
+  /// telemetry record per attempt (ok:false carries the typed reason).
+  RecoveryOutcome recover_latest(
+      const std::function<void(const RunCheckpoint&, const Generation&)>&
+          apply);
+
+  std::size_t commits() const { return commits_; }
+  std::size_t commit_failures() const { return commit_failures_; }
+
+ private:
+  void write_manifest(const std::vector<Generation>& gens);
+  void prune(const std::vector<Generation>& gens);
+
+  StoreConfig config_;
+  StoreIo* io_;
+  obs::JsonlWriter* telemetry_;
+  std::size_t commits_ = 0;
+  std::size_t commit_failures_ = 0;
+};
+
+}  // namespace spatl::fl::store

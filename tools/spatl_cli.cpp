@@ -79,9 +79,10 @@ int usage() {
                "            noise|collude] [--byz-scale F] [--byz-noise F]\n"
                "           [--aggregator mean|median|trimmed|krum|clipped]\n"
                "           [--trim-fraction F] [--krum-f N] [--multi-krum N]\n"
-               "           [--clip-norm F]\n"
+               "           [--clip-norm F] [--krum-auto-f]\n"
                "           recovery / sampling:\n"
                "           [--checkpoint-every K] [--checkpoint-path FILE]\n"
+               "           [--ckpt-dir DIR] [--ckpt-keep K] [--ckpt-verify]\n"
                "           [--resume FILE] [--divergence-factor F]\n"
                "           [--fault-aware-sampling] [--fault-ema-decay F]\n"
                "           telemetry (observation only):\n"
@@ -286,6 +287,17 @@ int cmd_train(const common::Flags& flags) {
       flags.get_double("fault-ema-decay", ro.fault_ema_decay);
   ro.checkpoint_every = std::size_t(flags.get_int("checkpoint-every", 0));
   ro.checkpoint_path = flags.get("checkpoint-path");
+  // Durable generational store (DESIGN.md §13): --ckpt-dir turns it on;
+  // commits happen on the --checkpoint-every cadence.
+  const std::string ckpt_dir = flags.get("ckpt-dir");
+  if (!ckpt_dir.empty()) {
+    fl::store::StoreConfig sc;
+    sc.dir = ckpt_dir;
+    sc.keep_last = std::size_t(flags.get_int("ckpt-keep", int(sc.keep_last)));
+    sc.verify_on_commit = flags.get_bool("ckpt-verify", false);
+    ro.ckpt_store = sc;
+  }
+  ro.krum_auto_f = flags.get_bool("krum-auto-f", false);
   ro.divergence_factor = flags.get_double("divergence-factor", 0.0);
   fl::RunCheckpoint resume_ckpt;
   const std::string resume_path = flags.get("resume");
@@ -379,6 +391,18 @@ int cmd_train(const common::Flags& flags) {
   if (result.crashes_injected > 0) {
     std::printf("failover: %zu server crashes injected and recovered\n",
                 result.crashes_injected);
+  }
+  if (ro.ckpt_store) {
+    std::printf(
+        "durable store: %zu generation(s) committed to %s, %zu commit "
+        "failure(s), %zu recovered from disk, %zu ladder attempt(s) "
+        "rejected\n",
+        result.store_commits, ro.ckpt_store->dir.c_str(),
+        result.store_commit_failures, result.recoveries_from_store,
+        result.recovery_attempts_failed);
+  }
+  if (ro.krum_auto_f) {
+    std::printf("krum auto-f: final estimate %zu\n", result.krum_f_estimate);
   }
   if (ro.alerts != nullptr) {
     std::printf("alerts: %zu emitted\n", alerts.alerts_emitted());

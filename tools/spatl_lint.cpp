@@ -27,6 +27,12 @@
 //                   semi-async straggler buffer is keyed on simulated
 //                   virtual time only; a wall-clock read there would make
 //                   buffered runs machine-dependent.
+//   store-bypass    raw tensor-container I/O (save_tensors/load_tensors/
+//                   write_tensors/read_tensors) inside src/fl outside
+//                   src/fl/store — run state must flow through the durable
+//                   store layer (atomic tmp+rename commits, CRC
+//                   verification, generational retention); a direct write
+//                   reopens the torn-write corruption hole the store closes.
 //
 // A file opts out of one rule with a comment of the form
 //   spatl-lint: allow(<rule>)        (inside any // or /* */ comment)
@@ -311,6 +317,21 @@ void check_async_wallclock(FileReport& f) {
   }
 }
 
+void check_store_bypass(FileReport& f) {
+  if (f.rel.rfind("src/fl/", 0) != 0) return;
+  if (f.rel.rfind("src/fl/store/", 0) == 0) return;  // the sanctioned layer
+  for (const char* token : {"save_tensors", "load_tensors", "write_tensors",
+                            "read_tensors"}) {
+    for (std::size_t p : find_token(f.code, token)) {
+      f.add("store-bypass", p,
+            std::string(token) +
+                " in src/fl outside fl/store — route run-state persistence "
+                "through the durable store (atomic commit + CRC "
+                "verification + retention)");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,6 +380,7 @@ int main(int argc, char** argv) {
     check_raw_thread(f);
     check_raw_stderr(f);
     check_async_wallclock(f);
+    check_store_bypass(f);
   }
 
   for (const auto& v : violations) {
