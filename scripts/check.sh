@@ -21,14 +21,25 @@
 #       tests/test_observability.cpp's concurrent metrics-registry merge
 #       probe. Default build dir: build-tsan.
 #
-#   scripts/check.sh --lint [build-dir]    static tier: spatl_lint repo
-#       invariants (always) + clang-tidy over src/ against the exported
+#   scripts/check.sh --lint [build-dir]    static tier: the project-aware
+#       spatl_lint passes (legacy per-file rules, include-graph layering,
+#       checkpoint-coverage audit, RNG stream discipline) gated on the
+#       checked-in baseline tools/analysis/lint_baseline.txt — any
+#       non-baselined finding fails the tier, per-rule counts are printed,
+#       and a SARIF 2.1.0 report lands in <build-dir>/spatl_lint.sarif —
+#       plus clang-tidy over src/ against the exported
 #       compile_commands.json (when clang-tidy is installed; its major
 #       version must match CLANG_TIDY_MAJOR_PIN below or the tier fails
 #       loudly). Default: build.
 #
+#   scripts/check.sh --coverage [build-dir]  coverage tier: Debug build with
+#       SPATL_COVERAGE=ON (gcov instrumentation), full ctest run, then a
+#       per-file line-coverage table over src/ with a TOTAL row. Slower
+#       than --fast and advisory (no threshold gate), so it is NOT part of
+#       --all. Default build dir: build-coverage.
+#
 #   scripts/check.sh --all                 every tier in sequence — the
-#       pre-merge gate.
+#       pre-merge gate (coverage excluded: advisory, not a gate).
 #
 # All tiers configure with SPATL_WERROR=ON: warnings fail the gate.
 set -euo pipefail
@@ -37,7 +48,7 @@ cd "$(dirname "$0")/.."
 
 MODE="san"
 case "${1:-}" in
-  --fast|--san|--thread|--lint|--all) MODE="${1#--}"; shift ;;
+  --fast|--san|--thread|--lint|--coverage|--all) MODE="${1#--}"; shift ;;
 esac
 
 NPROC="$(nproc)"
@@ -88,7 +99,10 @@ run_lint() {
   local dir="${1:-build}"
   cmake -B "$dir" -S . -DSPATL_WERROR=ON
   cmake --build "$dir" -j "$NPROC" --target spatl_lint
-  "$dir"/tools/spatl_lint .
+  # Gated on tools/analysis/lint_baseline.txt (picked up automatically):
+  # exits non-zero on any non-baselined finding, prints per-rule counts,
+  # and writes a SARIF 2.1.0 report for code-scanning consumers.
+  "$dir"/tools/spatl_lint --sarif "$dir"/spatl_lint.sarif .
   if command -v clang-tidy >/dev/null 2>&1; then
     # Fail loudly on version drift instead of quietly linting with a
     # different checker set than the pin was validated against.
@@ -113,11 +127,59 @@ run_lint() {
   echo "lint check passed"
 }
 
+run_coverage() {
+  local dir="${1:-build-coverage}"
+  if ! command -v gcov >/dev/null 2>&1; then
+    echo "error: gcov not found (needed for the coverage tier)" >&2
+    exit 1
+  fi
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DSPATL_COVERAGE=ON \
+    -DSPATL_WERROR=ON
+  # Stale counters from a previous run would inflate the numbers.
+  find "$dir" -name '*.gcda' -delete
+  cmake --build "$dir" -j "$NPROC"
+  ctest --test-dir "$dir" --output-on-failure -j "$NPROC"
+
+  local root dir_abs scratch
+  root="$(pwd)"
+  dir_abs="$(cd "$dir" && pwd)"
+  # gcov spews one .gcov per source next to its cwd — contain the spam.
+  scratch="$dir_abs/coverage-scratch"
+  rm -rf "$scratch"
+  mkdir -p "$scratch"
+  find "$dir_abs/src" -name '*.gcda' -print0 |
+    (cd "$scratch" && xargs -0 gcov -r -s "$root" 2>/dev/null) |
+    awk '
+      /^File / { f = $2; gsub("\047", "", f) }
+      /^Lines executed:/ {
+        split($0, a, /[:% ]+/)  # "Lines executed:NN.NN% of M"
+        if (f ~ /^src\// && a[5] + 0 > lines[f] + 0) {
+          lines[f] = a[5]
+          pct[f] = a[3]
+        }
+      }
+      END {
+        for (f in lines) printf "%s %d %.2f\n", f, lines[f], pct[f]
+      }' |
+    sort |
+    awk '
+      { printf "  %6.1f%%  %6d  %s\n", $3, $2, $1
+        t += $2; h += $2 * $3 / 100 }
+      END {
+        if (t > 0) printf "  %6.1f%%  %6d  TOTAL (line coverage, src/)\n",
+                          h / t * 100, t
+      }'
+  echo "coverage report done (objects in $dir, .gcov files in $scratch)"
+}
+
 case "$MODE" in
   fast)   run_fast "${1:-}" ;;
   san)    run_san "${1:-}" ;;
   thread) run_thread "${1:-}" ;;
   lint)   run_lint "${1:-}" ;;
+  coverage) run_coverage "${1:-}" ;;
   all)
     run_fast
     run_san

@@ -43,6 +43,12 @@ struct EvalSummary {
   double avg_loss = 0.0;
 };
 
+// Checkpoint audit (DESIGN.md §14): every data member below must either
+// name the checkpoint key(s) persisting it or opt out with a reason —
+// spatl_lint's ckpt pass cross-checks the tags against the real pack /
+// unpack sites, so adding resume-relevant state without persisting it
+// fails lint instead of a bit-identity test several PRs later.
+// ckpt-struct: algo/
 class FederatedAlgorithm {
  public:
   FederatedAlgorithm(FlEnvironment& env, FlConfig config);
@@ -188,22 +194,22 @@ class FederatedAlgorithm {
                                   std::size_t dim,
                                   const std::vector<float>* reference);
 
-  FlEnvironment& env_;
-  FlConfig config_;
-  common::Rng rng_;
-  CommLedger ledger_;
-  models::SplitModel global_;
-  models::SplitModel worker_;
+  FlEnvironment& env_;       // ckpt: none(borrowed substrate, rebuilt by the caller)
+  FlConfig config_;          // ckpt: none(configuration, rebuilt from flags/seed)
+  common::Rng rng_;          // ckpt: none(consumed at construction for weight init only)
+  CommLedger ledger_;        // ckpt: run/ledger
+  models::SplitModel global_;  // ckpt: algo/w, algo/bn
+  models::SplitModel worker_;  // ckpt: none(scratch, reloaded from global_ every round)
 
-  const FaultModel* fault_ = nullptr;  // not owned; may be null
-  ChurnEngine* churn_ = nullptr;       // not owned; may be null
-  bool defended_ = false;              // resilience policy active
-  ResilienceConfig resilience_;
-  std::unique_ptr<RobustAggregator> robust_;  // built from resilience_
-  RoundStats stats_;
-  std::size_t fault_round_ = 0;
-  AsyncConfig async_;        // disabled by default (synchronous policy)
-  StragglerBuffer buffer_;   // parked straggler updates (serialized)
+  const FaultModel* fault_ = nullptr;  // ckpt: none(borrowed; re-armed via set_fault_injection)
+  ChurnEngine* churn_ = nullptr;       // ckpt: none(borrowed; persists itself under run/churn/)
+  bool defended_ = false;              // ckpt: none(derived from set_fault_injection)
+  ResilienceConfig resilience_;        // ckpt: none(configuration)
+  std::unique_ptr<RobustAggregator> robust_;  // ckpt: none(derived from resilience_)
+  RoundStats stats_;                   // ckpt: none(per-round scratch)
+  std::size_t fault_round_ = 0;        // ckpt: none(set by begin_round each round)
+  AsyncConfig async_;        // ckpt: none(configuration, synchronous by default)
+  StragglerBuffer buffer_;   // ckpt: algo/async/
 };
 
 // ---------------------------------------------------------------------------
@@ -236,6 +242,7 @@ class FedNova : public FederatedAlgorithm {
   }
 };
 
+// ckpt-struct: algo/scaffold/
 class Scaffold : public FederatedAlgorithm {
  public:
   Scaffold(FlEnvironment& env, FlConfig config);
@@ -250,8 +257,9 @@ class Scaffold : public FederatedAlgorithm {
   }
 
  private:
-  std::vector<float> server_c_;
-  std::vector<std::vector<float>> client_c_;  // lazily sized per client
+  std::vector<float> server_c_;  // ckpt: algo/scaffold/c
+  // Lazily sized per client.
+  std::vector<std::vector<float>> client_c_;  // ckpt: algo/scaffold/ci/
 };
 
 /// Factory over {"fedavg","fedprox","fednova","scaffold"}.

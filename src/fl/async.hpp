@@ -53,21 +53,23 @@ double staleness_scale(double stale_weight, std::size_t lag);
 /// FedProx), normalized deltas + tau (FedNova), displacement + control
 /// deltas (SCAFFOLD), or mask-compacted salient deltas (SPATL). The buffer
 /// itself is representation-agnostic.
+// ckpt-struct: algo/async/<k>/
 struct BufferedUpdate {
-  std::size_t client = 0;
-  std::size_t source_round = 0;  // round the client trained in
-  std::size_t commit_round = 0;  // round the update merges in
-  double tau = 1.0;              // local-step normalizer (FedNova/SCAFFOLD)
-  std::vector<float> values;
-  std::vector<float> bn;
-  std::vector<float> aux;
-  std::vector<std::uint8_t> mask;  // salient-position mask (SPATL)
+  std::size_t client = 0;        // ckpt: meta
+  std::size_t source_round = 0;  // ckpt: meta (round the client trained in)
+  std::size_t commit_round = 0;  // ckpt: meta (round the update merges in)
+  double tau = 1.0;              // ckpt: tau (FedNova/SCAFFOLD normalizer)
+  std::vector<float> values;     // ckpt: values
+  std::vector<float> bn;         // ckpt: bn
+  std::vector<float> aux;        // ckpt: aux
+  std::vector<std::uint8_t> mask;  // ckpt: mask (salient positions, SPATL)
 };
 
 /// Deterministic straggler buffer: entries are totally ordered by
 /// (commit_round, source_round, client) regardless of insertion order, so
 /// the merge sequence — and therefore the float arithmetic — is identical
 /// across runs and across checkpoint/resume.
+// ckpt-struct: algo/async/
 class StragglerBuffer {
  public:
   /// Insert preserving the (commit_round, source_round, client) order.
@@ -97,7 +99,7 @@ class StragglerBuffer {
   void load(const RunCheckpoint& in, const std::string& prefix);
 
  private:
-  std::vector<BufferedUpdate> entries_;
+  std::vector<BufferedUpdate> entries_;  // ckpt: n (count, then per-entry keys)
 };
 
 /// Adaptive aggregator escalation: when the fraction of suspicious updates
@@ -120,6 +122,7 @@ struct EscalationConfig {
   std::size_t reset_after_quiet = 0;
 };
 
+// ckpt-struct: run/escalation
 class EscalationTracker {
  public:
   /// What the caller must do after feeding a round to observe().
@@ -156,10 +159,10 @@ class EscalationTracker {
   }
 
  private:
-  EscalationConfig config_;
-  std::size_t streak_ = 0;
-  std::size_t quiet_ = 0;  // consecutive quiet rounds while escalated
-  bool active_ = false;
+  EscalationConfig config_;  // ckpt: none(configuration, rebuilt by the runner)
+  std::size_t streak_ = 0;   // ckpt: run/escalation
+  std::size_t quiet_ = 0;    // ckpt: run/escalation (quiet rounds while escalated)
+  bool active_ = false;      // ckpt: run/escalation
 };
 
 }  // namespace spatl::fl

@@ -106,6 +106,7 @@ struct ChurnDelta {
 /// (statuses, departure rounds, pending return discounts, replay cursor)
 /// travels through checkpoints, mirroring how the fault model resumes from
 /// its config alone.
+// ckpt-struct: run/churn/
 class ChurnEngine {
  public:
   ChurnEngine(const ChurnConfig& config, std::size_t rounds,
@@ -148,13 +149,13 @@ class ChurnEngine {
   void reset_to_initial();
   void rebuild_enrolled();
 
-  ChurnConfig config_;
-  ChurnTrace trace_;
-  std::vector<MemberStatus> status_;
-  std::vector<std::uint64_t> departed_round_;  // round the client last left
-  std::vector<std::uint64_t> pending_;         // return discount, in rounds
-  std::vector<std::size_t> enrolled_;          // derived from status_
-  std::size_t cursor_ = 0;  // highest round whose events were applied
+  ChurnConfig config_;  // ckpt: none(configuration, rebuilt by the runner)
+  ChurnTrace trace_;    // ckpt: none(regenerated deterministically from config seed)
+  std::vector<MemberStatus> status_;           // ckpt: status
+  std::vector<std::uint64_t> departed_round_;  // ckpt: departed
+  std::vector<std::uint64_t> pending_;         // ckpt: pending
+  std::vector<std::size_t> enrolled_;          // ckpt: none(derived from status_)
+  std::size_t cursor_ = 0;                     // ckpt: cursor
 };
 
 }  // namespace spatl::fl

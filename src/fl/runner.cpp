@@ -359,6 +359,21 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   std::size_t start_round = 1;
   if (opts.resume != nullptr && !opts.resume->empty()) {
     start_round = restore_checkpoint(*opts.resume) + 1;
+  } else if (store && opts.resume_from_store) {
+    // Cross-run reuse: a fresh process pointed at an existing checkpoint
+    // directory resumes from the newest generation that survives the
+    // ladder. No generations (cold start) or all-corrupt leaves
+    // start_round at 1 — identical to a run without the flag.
+    std::size_t recovered = 0;
+    const store::RecoveryOutcome rec = store->recover_latest(
+        [&](const RunCheckpoint& c, const store::Generation&) {
+          recovered = restore_checkpoint(c);
+        });
+    result.recovery_attempts_failed += rec.failed_attempts;
+    if (rec.applied) {
+      ++result.recoveries_from_store;
+      start_round = recovered + 1;
+    }
   }
 
   // Failover drills: the pre-loop baseline covers a crash injected before

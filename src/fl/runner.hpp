@@ -154,6 +154,15 @@ struct RunOptions {
   /// corruption / ENOSPC through a FaultyStoreIo here). Null = the real
   /// filesystem. Not owned; must outlive the run.
   store::StoreIo* store_io = nullptr;
+  /// Cross-run store reuse: before round 1, walk the generational ladder in
+  /// `ckpt_store->dir` and resume from the newest generation that verifies
+  /// and applies — so a fresh process pointed at the same directory picks up
+  /// where the previous run stopped, bit-identically to the uninterrupted
+  /// run, with no explicit `resume` snapshot. An empty/missing directory is
+  /// a cold start (round 1); an explicit `resume` takes precedence. Counted
+  /// in RunResult::recoveries_from_store / recovery_attempts_failed like
+  /// any other ladder walk.
+  bool resume_from_store = false;
 
   /// Attack-aware Krum f auto-tuning: maintain a per-client suspicion
   /// ledger from the robust aggregator's exclusions and, whenever the

@@ -1,0 +1,19 @@
+// Pack/unpack sites for the bad_ckpt fixture: "round" is fully covered,
+// "orphan" is packed but never unpacked (ckpt-missing-unpack), and the
+// header's "ghost" key has no pack site at all (ckpt-missing-pack).
+#include "fl/state.hpp"
+
+namespace fixture {
+
+void save_state() {
+  pack_u64s("algo/demo/round", {});
+  pack_floats("algo/demo/orphan", {});
+}
+
+void load_state() {
+  at("algo/demo/round");
+}
+
+void DemoState::tick() { ++round_; }
+
+}  // namespace fixture

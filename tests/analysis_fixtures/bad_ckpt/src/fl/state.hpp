@@ -1,0 +1,17 @@
+// Known-bad fixture: the three checkpoint-coverage rules, one field each.
+#pragma once
+
+namespace fixture {
+
+// ckpt-struct: algo/demo/
+class DemoState {
+ public:
+  void tick();
+
+ private:
+  int round_ = 0;      // ckpt: algo/demo/round
+  double lr_ = 0.1;    // ckpt-unannotated-field: no tag at all
+  float ghost_ = 0.f;  // ckpt: algo/demo/ghost
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Known-bad fixture: include-cycle (a -> b -> a).
+#pragma once
+
+#include "fl/b.hpp"
+
+namespace fixture {
+inline int a_value() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Second half of the include cycle.
+#pragma once
+
+#include "fl/a.hpp"
+
+namespace fixture {
+inline int b_value() { return 2; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Known-bad fixture: include-layer. A common-layer header reaching UP into
+// obs inverts the layer DAG (common must stay dependency-free).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace fixture {
+inline int clock_metric() { return metric(); }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Layering fixture support header (clean by itself).
+#pragma once
+
+namespace fixture {
+inline int metric() { return 0; }
+}  // namespace fixture

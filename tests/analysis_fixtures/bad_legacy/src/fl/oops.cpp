@@ -1,0 +1,8 @@
+// Known-bad fixture: banned-random (legacy per-file rule representative).
+namespace fixture {
+
+int oops_entropy() {
+  return rand();
+}
+
+}  // namespace fixture

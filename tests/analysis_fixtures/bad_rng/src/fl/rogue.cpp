@@ -1,0 +1,22 @@
+// Known-bad fixture: the three RNG stream-discipline rules.
+//   rng-stream-owner      Stream::kBackoff named outside src/fl/fault.*
+//   rng-backoff-outcome   the kBackoff generator feeding a bernoulli
+//   rng-conditional-draw  a keyed draw reachable only through a branch
+#include <cstdint>
+
+namespace fixture {
+
+void rogue_streams(std::uint64_t seed, bool flaky) {
+  auto backoff_rng = keyed_rng(seed, 1, 0, Stream::kBackoff);
+  const bool delivered = backoff_rng.bernoulli(0.5);
+
+  auto extra_rng = keyed_rng(seed, 2, 0, Stream::kExtra);
+  double x = 0.0;
+  if (flaky) {
+    x += extra_rng.uniform();
+  }
+  (void)delivered;
+  (void)x;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Clean fixture: nothing here may trip any rule. The constructs below are
+// the lexer edge cases the scanner must classify correctly — a regression
+// in raw-string / digit-separator / comment-continuation handling shows up
+// as a phantom finding in this file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// A raw string literal whose CONTENT names banned constructs; the scanner
+// must blank it, so none of these tokens reach the rule passes.
+inline std::string banned_words() {
+  return R"(std::thread t; rand(); srand(7); std::random_device rd;)";
+}
+
+// Delimited raw string with parens inside.
+inline std::string delimited() {
+  return R"x(a ")" b)x";
+}
+
+// Digit separators: the ' after a digit is not a char-literal opener. If it
+// were, the "literal" would swallow the rest of the line and hide real code
+// from every pass.
+inline constexpr std::uint64_t kBig = 1'000'000;
+inline constexpr std::uint64_t kHex = 0xFF'FF'FF;
+
+// A line comment continued with a backslash: the next physical line is \
+   std::thread hidden_by_continuation; rand();
+inline int after_continuation() { return 1; }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Clean fixture: pack/unpack sites covering every annotated key in
+// state.hpp. The include runs downward (fl -> common), which the layer DAG
+// permits.
+#include "fl/state.hpp"
+
+#include "common/util.hpp"
+
+namespace fixture {
+
+void save_state() {
+  pack_u64s("algo/demo/round", {});
+  pack_floats("algo/demo/w", {});
+}
+
+void load_state() {
+  at("algo/demo/round");
+  find("algo/demo/w");
+}
+
+void DemoState::tick() { ++round_; }
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Clean fixture: a fully annotated checkpoint-audited struct. Every field
+// either names a key that state.cpp really packs and unpacks, or opts out
+// with a reason.
+#pragma once
+
+#include "common/util.hpp"
+
+namespace fixture {
+
+// ckpt-struct: algo/demo/
+class DemoState {
+ public:
+  void tick();
+  int round() const { return round_; }
+
+ private:
+  int round_ = 0;        // ckpt: algo/demo/round
+  double temp_ = 0.0;    // ckpt: none(per-round scratch, recomputed by tick)
+  // ckpt: algo/demo/w
+  float weight_ = 1.0f;
+};
+
+}  // namespace fixture

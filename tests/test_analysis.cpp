@@ -1,0 +1,284 @@
+// Self-test for the spatl_lint analysis library (tools/analysis/):
+//   - scanner lexer hardening (raw strings, digit separators, comment line
+//     continuations) against regressions
+//   - every pass over the known-bad fixture corpus under
+//     tests/analysis_fixtures/ — each fixture flagged by exactly its
+//     intended rule(s), the clean fixture by none
+//   - the checkpoint drift drill: adding an unannotated state field to the
+//     clean fixture's audited struct must produce a finding
+//   - the full repo stays clean under the checked-in baseline (the same
+//     gate the spatl_lint ctest and scripts/check.sh --lint enforce)
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+
+namespace fs = std::filesystem;
+using namespace spatl::analysis;
+
+namespace {
+
+std::string fixture_dir(const std::string& name) {
+  return (fs::path(SPATL_FIXTURE_DIR) / name).string();
+}
+
+std::map<std::string, std::size_t> counts_by_rule(const Report& report) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& f : report.findings) ++counts[f.rule];
+  return counts;
+}
+
+Report analyze_fixture(const std::string& name) {
+  const Project project = load_project(fixture_dir(name));
+  EXPECT_FALSE(project.files.empty()) << "fixture not found: " << name;
+  return analyze(project);
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const fs::path& path, const std::string& text) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  ASSERT_TRUE(bool(out)) << path;
+}
+
+}  // namespace
+
+// --- scanner ---------------------------------------------------------------
+
+TEST(Scanner, BlanksRawStringContents) {
+  const auto s = scan_source("auto s = R\"(rand(); std::thread t;)\";");
+  EXPECT_TRUE(find_token(s.code, "rand(").empty());
+  EXPECT_TRUE(find_token(s.code, "thread").empty());
+  ASSERT_EQ(s.strings.size(), 1u);
+  EXPECT_EQ(s.strings[0].text, "rand(); std::thread t;");
+}
+
+TEST(Scanner, HandlesDelimitedRawStrings) {
+  // The )" inside the literal is content, not a terminator; x = 7 after the
+  // literal is real code again.
+  const auto s = scan_source("auto s = R\"x(quote )\" inside)x\"; x = 7;");
+  ASSERT_EQ(s.strings.size(), 1u);
+  EXPECT_EQ(s.strings[0].text, "quote )\" inside");
+  EXPECT_NE(s.code.find("x = 7"), std::string::npos);
+}
+
+TEST(Scanner, RawStringPrefixes) {
+  const auto s = scan_source("auto a = u8R\"(one)\"; auto b = LR\"(two)\";");
+  ASSERT_EQ(s.strings.size(), 2u);
+  EXPECT_EQ(s.strings[0].text, "one");
+  EXPECT_EQ(s.strings[1].text, "two");
+}
+
+TEST(Scanner, IdentifierEndingInRIsNotARawString) {
+  const auto s = scan_source("auto x = FOOBAR\"content\";");
+  ASSERT_EQ(s.strings.size(), 1u);
+  EXPECT_EQ(s.strings[0].text, "content");
+}
+
+TEST(Scanner, DigitSeparatorIsNotACharLiteral) {
+  // A lexer that opens a char literal at 1'000 swallows the rest of the
+  // line and hides the rand() call from every rule.
+  const auto s = scan_source("int x = 1'000'000; rand();");
+  EXPECT_EQ(find_token(s.code, "rand(").size(), 1u);
+  const auto hex = scan_source("int y = 0xFF'FF; rand();");
+  EXPECT_EQ(find_token(hex.code, "rand(").size(), 1u);
+}
+
+TEST(Scanner, CharLiteralsStillBlank) {
+  const auto s = scan_source("char c = 'r'; char q = '\\''; rand();");
+  EXPECT_EQ(find_token(s.code, "rand(").size(), 1u);
+  EXPECT_TRUE(find_token(s.code, "r").empty());  // the 'r' content blanked
+}
+
+TEST(Scanner, LineContinuationExtendsLineComment) {
+  // Phase-2 splicing: the backslash-newline keeps the comment alive, so the
+  // second physical line is comment text, not code.
+  const auto s = scan_source("// hidden \\\nstd::thread t; rand();\nint x;");
+  EXPECT_TRUE(find_token(s.code, "rand(").empty());
+  EXPECT_TRUE(find_token(s.code, "thread").empty());
+  EXPECT_NE(s.comments.find("rand()"), std::string::npos);
+  EXPECT_NE(s.code.find("int x"), std::string::npos);
+  // Line numbers survive: every channel keeps both newlines.
+  EXPECT_EQ(line_of(s.code, s.code.find("int x")), 3u);
+}
+
+TEST(Scanner, AllowDirectivesComeFromCommentsOnly) {
+  const auto in_comment = scan_source("// spatl-lint: allow(naked-new)\n");
+  EXPECT_EQ(allowed_rules(in_comment.comments).count("naked-new"), 1u);
+  const auto in_string =
+      scan_source("auto s = \"spatl-lint: allow(naked-new)\";\n");
+  EXPECT_TRUE(allowed_rules(in_string.comments).empty());
+}
+
+// --- fixture corpus --------------------------------------------------------
+
+TEST(Fixtures, CleanFixtureHasNoFindings) {
+  const Report report = analyze_fixture("clean");
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings.size() << " unexpected finding(s), first: "
+      << (report.findings.empty() ? "" : report.findings[0].message);
+}
+
+TEST(Fixtures, LayeringFixtureFlagsExactlyIncludeLayer) {
+  const auto counts = counts_by_rule(analyze_fixture("bad_layering"));
+  const std::map<std::string, std::size_t> expected = {{"include-layer", 1}};
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(Fixtures, CycleFixtureFlagsExactlyIncludeCycle) {
+  const auto counts = counts_by_rule(analyze_fixture("bad_cycle"));
+  const std::map<std::string, std::size_t> expected = {{"include-cycle", 1}};
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(Fixtures, CkptFixtureFlagsEachCoverageRuleOnce) {
+  const Report report = analyze_fixture("bad_ckpt");
+  const auto counts = counts_by_rule(report);
+  const std::map<std::string, std::size_t> expected = {
+      {"ckpt-unannotated-field", 1},
+      {"ckpt-missing-pack", 1},
+      {"ckpt-missing-unpack", 1}};
+  EXPECT_EQ(counts, expected);
+  for (const auto& f : report.findings) {
+    if (f.rule == "ckpt-unannotated-field") {
+      EXPECT_NE(f.message.find("'lr_'"), std::string::npos) << f.message;
+    }
+  }
+}
+
+TEST(Fixtures, RngFixtureFlagsEachDisciplineRuleOnce) {
+  const auto counts = counts_by_rule(analyze_fixture("bad_rng"));
+  const std::map<std::string, std::size_t> expected = {
+      {"rng-stream-owner", 1},
+      {"rng-backoff-outcome", 1},
+      {"rng-conditional-draw", 1}};
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(Fixtures, LegacyFixtureFlagsBannedRandom) {
+  const auto counts = counts_by_rule(analyze_fixture("bad_legacy"));
+  const std::map<std::string, std::size_t> expected = {{"banned-random", 1}};
+  EXPECT_EQ(counts, expected);
+}
+
+// --- checkpoint drift drill ------------------------------------------------
+
+// The acceptance drill: take the CLEAN fixture, add one state field to its
+// audited struct without an annotation, and the ckpt pass must report it.
+TEST(CkptDrift, UnannotatedStateFieldIsCaught) {
+  const fs::path scratch =
+      fs::path(::testing::TempDir()) / "spatl_ckpt_drift";
+  fs::remove_all(scratch);
+
+  const fs::path clean = fixture_dir("clean");
+  std::string header = slurp(clean / "src/fl/state.hpp");
+  const std::string anchor = "float weight_ = 1.0f;";
+  const auto pos = header.find(anchor);
+  ASSERT_NE(pos, std::string::npos);
+  header.insert(pos + anchor.size(), "\n  int drifted_momentum_ = 0;");
+
+  spit(scratch / "src/fl/state.hpp", header);
+  spit(scratch / "src/fl/state.cpp", slurp(clean / "src/fl/state.cpp"));
+  spit(scratch / "src/common/util.hpp", slurp(clean / "src/common/util.hpp"));
+
+  const Report report = analyze(load_project(scratch.string()));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "ckpt-unannotated-field");
+  EXPECT_NE(report.findings[0].message.find("'drifted_momentum_'"),
+            std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("'DemoState'"),
+            std::string::npos);
+
+  // Control: the untouched fixture stays clean, so the finding above is the
+  // drift and nothing else.
+  spit(scratch / "src/fl/state.hpp", slurp(clean / "src/fl/state.hpp"));
+  EXPECT_TRUE(analyze(load_project(scratch.string())).findings.empty());
+  fs::remove_all(scratch);
+}
+
+// --- baseline mechanics ----------------------------------------------------
+
+TEST(Baseline, SuppressesByContextNotLineNumber) {
+  const fs::path scratch =
+      fs::path(::testing::TempDir()) / "spatl_baseline_roundtrip";
+  fs::remove_all(scratch);
+  spit(scratch / "src/fl/oops.cpp",
+       "namespace f {\nint e() { return rand(); }\n}  // namespace f\n");
+
+  const Project project = load_project(scratch.string());
+  Report report = analyze(project);
+  ASSERT_EQ(report.findings.size(), 1u);
+
+  // Round-trip: the serialized baseline suppresses the same finding even
+  // after lines shift above it.
+  const std::string baseline = format_baseline(report, project);
+  spit(scratch / "src/fl/oops.cpp",
+       "// three\n// new\n// lines\nnamespace f {\nint e() { return rand(); "
+       "}\n}  // namespace f\n");
+  const Project shifted = load_project(scratch.string());
+  Report again = analyze(shifted);
+  ASSERT_EQ(again.findings.size(), 1u);
+  EXPECT_EQ(apply_baseline(&again, shifted, parse_baseline(baseline)), 0u);
+  EXPECT_TRUE(again.findings[0].suppressed);
+
+  // Multiset semantics: one entry suppresses one finding, and a fixed
+  // finding leaves its entry stale.
+  Report twice = analyze(shifted);
+  auto entries = parse_baseline(baseline + baseline);
+  EXPECT_EQ(apply_baseline(&twice, shifted, entries), 1u);
+  fs::remove_all(scratch);
+}
+
+TEST(Baseline, SarifMarksSuppressedFindings) {
+  const fs::path scratch = fs::path(::testing::TempDir()) / "spatl_sarif";
+  fs::remove_all(scratch);
+  spit(scratch / "src/fl/oops.cpp", "int e() { return rand(); }\n");
+  const Project project = load_project(scratch.string());
+  Report report = analyze(project);
+  ASSERT_EQ(report.findings.size(), 1u);
+  apply_baseline(&report, project,
+                 parse_baseline(format_baseline(report, project)));
+  const std::string sarif = to_sarif(report);
+  EXPECT_NE(sarif.find("\"ruleId\":\"banned-random\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"suppressions\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":1"), std::string::npos);
+  fs::remove_all(scratch);
+}
+
+// --- the real tree ---------------------------------------------------------
+
+TEST(FullRepo, CleanUnderCheckedInBaseline) {
+  const Project project = load_project(SPATL_REPO_ROOT);
+  ASSERT_GT(project.files.size(), 100u);  // sanity: the real tree loaded
+  Report report = analyze(project);
+  const std::string baseline = slurp(
+      fs::path(SPATL_REPO_ROOT) / "tools" / "analysis" / "lint_baseline.txt");
+  ASSERT_FALSE(baseline.empty());
+  const std::size_t stale =
+      apply_baseline(&report, project, parse_baseline(baseline));
+  EXPECT_EQ(stale, 0u) << "stale baseline entries — regenerate with "
+                          "spatl_lint --write-baseline";
+  for (const auto& f : report.findings) {
+    EXPECT_TRUE(f.suppressed)
+        << f.file << ":" << f.line << " [" << f.rule << "] " << f.message;
+  }
+}
+
+TEST(FullRepo, FixtureCorpusIsExcludedFromTheRepoScan) {
+  const Project project = load_project(SPATL_REPO_ROOT);
+  for (const auto& f : project.files) {
+    EXPECT_EQ(f.rel.find("analysis_fixtures"), std::string::npos) << f.rel;
+  }
+}

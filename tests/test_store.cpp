@@ -806,5 +806,88 @@ TEST(KrumAutoF, ResumedRunKeepsTheLedgerBitIdentical) {
   EXPECT_EQ(full.final_accuracy, resumed.final_accuracy);
 }
 
+// ----------------------------------------------------- cross-run reuse --
+
+TEST(CrossRunStoreReuse, FreshProcessResumesFromNewestGeneration) {
+  // Two separate run_federated calls against the same checkpoint
+  // directory stand in for two OS processes: leg 1 commits generations and
+  // stops at round 2; leg 2 — fresh environment, fresh algorithm, no
+  // explicit resume snapshot — finds the newest generation on disk via
+  // resume_from_store and must finish bit-identical to the uninterrupted
+  // straight run.
+  const auto source = small_source();
+  ScratchDir dir("cross_run");
+
+  common::Rng rng1(37);
+  FlEnvironment env1(source, 4, 0.5, 0.25, rng1);
+  auto straight = make_algorithm("fedavg", env1);
+  const auto full = run_federated(*straight, chaos_options());
+
+  common::Rng rng2(37);
+  FlEnvironment env2(source, 4, 0.5, 0.25, rng2);
+  auto first = make_algorithm("fedavg", env2);
+  RunOptions leg1 = chaos_options();
+  leg1.rounds = 2;
+  leg1.checkpoint_every = 1;
+  store::StoreConfig sc;
+  sc.dir = dir.file("store");
+  leg1.ckpt_store = sc;
+  const auto half = run_federated(*first, leg1);
+  EXPECT_EQ(half.store_commits, 2u);
+
+  common::Rng rng3(37);
+  FlEnvironment env3(source, 4, 0.5, 0.25, rng3);
+  auto second = make_algorithm("fedavg", env3);
+  RunOptions leg2 = chaos_options();
+  leg2.checkpoint_every = 1;
+  leg2.ckpt_store = sc;
+  leg2.resume_from_store = true;
+  const auto resumed = run_federated(*second, leg2);
+
+  EXPECT_EQ(resumed.recoveries_from_store, 1u);
+  EXPECT_EQ(resumed.recovery_attempts_failed, 0u);
+  // Rounds 1-2 were replayed from disk, not re-run: with eval_every=2 only
+  // the round-4 evaluation happened in this leg.
+  ASSERT_EQ(resumed.history.size(), 1u);
+  EXPECT_EQ(resumed.history.front().round, 4u);
+  const auto wa = global_weights(*straight);
+  const auto wb = global_weights(*second);
+  ASSERT_EQ(wa.size(), wb.size());
+  EXPECT_EQ(std::memcmp(wa.data(), wb.data(), wa.size() * sizeof(float)), 0);
+  EXPECT_EQ(full.final_accuracy, resumed.final_accuracy);
+}
+
+TEST(CrossRunStoreReuse, EmptyStoreIsAColdStart) {
+  // resume_from_store against a directory with no generations must behave
+  // exactly like a run without the flag: start at round 1, count nothing.
+  const auto source = small_source();
+  ScratchDir dir("cross_run_cold");
+
+  common::Rng rng1(37);
+  FlEnvironment env1(source, 4, 0.5, 0.25, rng1);
+  auto straight = make_algorithm("fedavg", env1);
+  const auto full = run_federated(*straight, chaos_options());
+
+  common::Rng rng2(37);
+  FlEnvironment env2(source, 4, 0.5, 0.25, rng2);
+  auto cold = make_algorithm("fedavg", env2);
+  RunOptions opts = chaos_options();
+  store::StoreConfig sc;
+  sc.dir = dir.file("store");
+  opts.ckpt_store = sc;
+  opts.resume_from_store = true;
+  const auto result = run_federated(*cold, opts);
+
+  EXPECT_EQ(result.recoveries_from_store, 0u);
+  // All four rounds ran locally: both eval_every=2 evaluations happened.
+  ASSERT_EQ(result.history.size(), 2u);
+  EXPECT_EQ(result.history.front().round, 2u);
+  const auto wa = global_weights(*straight);
+  const auto wb = global_weights(*cold);
+  ASSERT_EQ(wa.size(), wb.size());
+  EXPECT_EQ(std::memcmp(wa.data(), wb.data(), wa.size() * sizeof(float)), 0);
+  EXPECT_EQ(full.final_accuracy, result.final_accuracy);
+}
+
 }  // namespace
 }  // namespace spatl::fl

@@ -1,0 +1,114 @@
+// spatl_lint analysis passes. See DESIGN.md §14.
+//
+// A Project is the scanned source tree; each pass walks it and appends
+// Findings. The driver (tools/spatl_lint.cpp) and the self-test
+// (tests/test_analysis.cpp) share this library, so every rule is exercised
+// both over the real repo and over the known-bad fixture corpus under
+// tests/analysis_fixtures/.
+//
+// Passes:
+//   legacy      the original per-file determinism/resource rules
+//               (banned-random, chrono-now, fl-unordered, naked-new,
+//               pragma-once, raw-thread, raw-stderr, async-wallclock,
+//               store-bypass)
+//   include     include-graph layering: the common→obs→…→fl layer DAG, with
+//               cycles and downward includes rejected (include-layer,
+//               include-cycle)
+//   ckpt        checkpoint-coverage audit over // ckpt: annotations vs the
+//               pack/unpack sites in src/fl (ckpt-unannotated-field,
+//               ckpt-missing-pack, ckpt-missing-unpack)
+//   rng         RNG stream discipline: the stream owner map plus the
+//               conditional-draw schedule-shift smell (rng-stream-owner,
+//               rng-conditional-draw, rng-backoff-outcome)
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/scanner.hpp"
+
+namespace spatl::analysis {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-relative, '/'-separated
+  std::size_t line = 0;
+  std::string message;
+  bool suppressed = false;  // matched a baseline entry
+};
+
+struct SourceFile {
+  std::string rel;
+  SourceText text;
+  std::set<std::string> allowed;  // rules granted via spatl-lint: allow(...)
+};
+
+struct Project {
+  std::string root;
+  std::vector<SourceFile> files;  // sorted by rel
+  std::vector<std::string> errors;  // unreadable paths
+};
+
+/// Scan every .cpp/.hpp under root/{src,tools,tests,bench,examples},
+/// skipping any directory named "analysis_fixtures" (the known-bad corpus
+/// must not fail the repo-wide run). Missing top-level directories are
+/// simply absent, so a fixture tree holding only src/ loads fine.
+Project load_project(const std::string& root);
+
+/// Append `finding` unless the file opted out of the rule.
+void emit(const SourceFile& f, std::vector<Finding>* out,
+          const std::string& rule, std::size_t pos,
+          const std::string& message);
+
+void run_legacy_rules(const Project& project, std::vector<Finding>* out);
+void run_include_graph(const Project& project, std::vector<Finding>* out);
+void run_ckpt_coverage(const Project& project, std::vector<Finding>* out);
+void run_rng_streams(const Project& project, std::vector<Finding>* out);
+
+struct Options {
+  bool legacy = true;
+  bool include_graph = true;
+  bool ckpt = true;
+  bool rng = true;
+};
+
+struct Report {
+  std::vector<Finding> findings;  // sorted (file, line, rule)
+  std::size_t files_scanned = 0;
+  std::size_t files_with_allow = 0;
+};
+
+Report analyze(const Project& project, const Options& options = {});
+
+/// Baseline entries grandfather pre-existing findings. Matching is on
+/// (rule, file, trimmed source line content) rather than line number, so a
+/// baseline survives unrelated edits above the finding. Each entry
+/// suppresses at most one finding per run (multiset semantics).
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string context;
+};
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text);
+
+/// Mark findings matched by the baseline as suppressed. Returns the number
+/// of stale entries (baselined findings that no longer occur).
+std::size_t apply_baseline(Report* report, const Project& project,
+                           const std::vector<BaselineEntry>& baseline);
+
+/// Serialize the report's unsuppressed findings in baseline format.
+std::string format_baseline(const Report& report, const Project& project);
+
+/// Minimal SARIF 2.1.0 document covering every finding (suppressed ones
+/// carry "suppressions" so downstream viewers can filter them).
+std::string to_sarif(const Report& report);
+
+/// Per-rule (total, suppressed) counts.
+std::map<std::string, std::pair<std::size_t, std::size_t>> rule_counts(
+    const Report& report);
+
+}  // namespace spatl::analysis

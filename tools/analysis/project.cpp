@@ -1,0 +1,76 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace spatl::analysis {
+
+namespace fs = std::filesystem;
+
+Project load_project(const std::string& root) {
+  Project project;
+  project.root = root;
+  std::vector<fs::path> paths;
+  for (const char* top : {"src", "tools", "tests", "bench", "examples"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::is_directory(dir)) continue;
+    fs::recursive_directory_iterator it(dir), end;
+    while (it != end) {
+      if (it->is_directory() &&
+          it->path().filename() == "analysis_fixtures") {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file()) {
+        const std::string ext = it->path().extension().string();
+        if (ext == ".cpp" || ext == ".hpp") paths.push_back(it->path());
+      }
+      ++it;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      project.errors.push_back(path.string());
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile file;
+    file.rel = fs::relative(path, root).generic_string();
+    file.text = scan_source(buf.str());
+    file.allowed = allowed_rules(file.text.comments);
+    project.files.push_back(std::move(file));
+  }
+  return project;
+}
+
+void emit(const SourceFile& f, std::vector<Finding>* out,
+          const std::string& rule, std::size_t pos,
+          const std::string& message) {
+  if (f.allowed.count(rule)) return;
+  out->push_back({rule, f.rel, line_of(f.text.raw, pos), message, false});
+}
+
+Report analyze(const Project& project, const Options& options) {
+  Report report;
+  report.files_scanned = project.files.size();
+  for (const auto& f : project.files) {
+    if (!f.allowed.empty()) ++report.files_with_allow;
+  }
+  if (options.legacy) run_legacy_rules(project, &report.findings);
+  if (options.include_graph) run_include_graph(project, &report.findings);
+  if (options.ckpt) run_ckpt_coverage(project, &report.findings);
+  if (options.rng) run_rng_streams(project, &report.findings);
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return report;
+}
+
+}  // namespace spatl::analysis

@@ -1,0 +1,186 @@
+// Reporting: the baseline/suppression mechanism and the SARIF 2.1.0 export.
+//
+// Baseline entries are keyed on (rule, file, trimmed source line content)
+// rather than line numbers, so grandfathered findings survive unrelated
+// edits elsewhere in the file; each entry suppresses at most one finding
+// per run. The SARIF document carries every finding — suppressed ones are
+// marked with a `suppressions` element so viewers can filter rather than
+// lose them.
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "analysis/analysis.hpp"
+
+namespace spatl::analysis {
+namespace {
+
+/// Trimmed content of 1-based line `number` of `text`.
+std::string line_by_number(const std::string& text, std::size_t number) {
+  std::size_t begin = 0;
+  for (std::size_t n = 1; n < number && begin != std::string::npos; ++n) {
+    begin = text.find('\n', begin);
+    if (begin != std::string::npos) ++begin;
+  }
+  if (begin == std::string::npos) return "";
+  return line_text(text, begin);
+}
+
+std::string finding_context(const Finding& finding, const Project& project) {
+  for (const auto& f : project.files) {
+    if (f.rel == finding.file) {
+      return line_by_number(f.text.raw, finding.line);
+    }
+  }
+  return "";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const std::vector<std::pair<const char*, const char*>>& rule_table() {
+  static const std::vector<std::pair<const char*, const char*>> kRules = {
+      {"banned-random", "nondeterministic randomness source"},
+      {"chrono-now", "wall-clock read outside common/timer.hpp"},
+      {"fl-unordered", "hash-ordered container in an aggregation path"},
+      {"naked-new", "raw new/delete outside RAII"},
+      {"pragma-once", "header missing #pragma once"},
+      {"raw-thread", "std::thread outside common/thread_pool"},
+      {"raw-stderr", "stderr write bypassing common/log"},
+      {"async-wallclock", "clock machinery in the virtual-time buffer"},
+      {"store-bypass", "tensor I/O around the durable store layer"},
+      {"include-layer", "include edge against the layer DAG"},
+      {"include-cycle", "include cycle between project files"},
+      {"ckpt-unannotated-field", "audited struct field without a ckpt tag"},
+      {"ckpt-missing-pack", "ckpt key annotation with no pack site"},
+      {"ckpt-missing-unpack", "packed ckpt key never read back"},
+      {"rng-stream-owner", "RNG stream named outside its owning module"},
+      {"rng-conditional-draw", "keyed RNG draw inside a conditional branch"},
+      {"rng-backoff-outcome", "backoff stream feeding a delivery outcome"},
+  };
+  return kRules;
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Whole-line comments only: context fields routinely contain '#'
+    // (e.g. grandfathered #include lines).
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    BaselineEntry e;
+    if (!(fields >> e.rule >> e.file)) continue;
+    std::string rest;
+    std::getline(fields, rest);
+    const std::size_t bar = rest.find('|');
+    if (bar != std::string::npos) rest = rest.substr(bar + 1);
+    const std::size_t begin = rest.find_first_not_of(" \t");
+    const std::size_t end = rest.find_last_not_of(" \t");
+    e.context = begin == std::string::npos
+                    ? ""
+                    : rest.substr(begin, end - begin + 1);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::size_t apply_baseline(Report* report, const Project& project,
+                           const std::vector<BaselineEntry>& baseline) {
+  std::map<std::tuple<std::string, std::string, std::string>, std::size_t>
+      pool;
+  for (const auto& e : baseline) ++pool[{e.rule, e.file, e.context}];
+  for (auto& finding : report->findings) {
+    const auto key = std::make_tuple(finding.rule, finding.file,
+                                     finding_context(finding, project));
+    const auto it = pool.find(key);
+    if (it != pool.end() && it->second > 0) {
+      --it->second;
+      finding.suppressed = true;
+    }
+  }
+  std::size_t stale = 0;
+  for (const auto& [key, count] : pool) stale += count;
+  return stale;
+}
+
+std::string format_baseline(const Report& report, const Project& project) {
+  std::string out;
+  for (const auto& finding : report.findings) {
+    if (finding.suppressed) continue;
+    out += finding.rule + " " + finding.file + " | " +
+           finding_context(finding, project) + "\n";
+  }
+  return out;
+}
+
+std::string to_sarif(const Report& report) {
+  std::ostringstream out;
+  out << "{\"version\":\"2.1.0\",\"$schema\":"
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{"
+         "\"tool\":{\"driver\":{\"name\":\"spatl_lint\","
+         "\"informationUri\":\"https://example.invalid/spatl\",\"rules\":[";
+  bool first = true;
+  for (const auto& [id, text] : rule_table()) {
+    out << (first ? "" : ",") << "{\"id\":\"" << id
+        << "\",\"shortDescription\":{\"text\":\"" << json_escape(text)
+        << "\"}}";
+    first = false;
+  }
+  out << "]}},\"results\":[";
+  first = true;
+  for (const auto& f : report.findings) {
+    out << (first ? "" : ",") << "{\"ruleId\":\"" << json_escape(f.rule)
+        << "\",\"level\":\"error\",\"message\":{\"text\":\""
+        << json_escape(f.message)
+        << "\"},\"locations\":[{\"physicalLocation\":{"
+           "\"artifactLocation\":{\"uri\":\""
+        << json_escape(f.file) << "\"},\"region\":{\"startLine\":" << f.line
+        << "}}}]";
+    if (f.suppressed) {
+      out << ",\"suppressions\":[{\"kind\":\"external\"}]";
+    }
+    out << "}";
+    first = false;
+  }
+  out << "]}]}\n";
+  return out.str();
+}
+
+std::map<std::string, std::pair<std::size_t, std::size_t>> rule_counts(
+    const Report& report) {
+  std::map<std::string, std::pair<std::size_t, std::size_t>> counts;
+  for (const auto& f : report.findings) {
+    auto& entry = counts[f.rule];
+    ++entry.first;
+    if (f.suppressed) ++entry.second;
+  }
+  return counts;
+}
+
+}  // namespace spatl::analysis

@@ -1,0 +1,230 @@
+// Pass 3 — RNG stream discipline.
+//
+// The keyed_rng(seed, round, client, Stream::k...) streams make every
+// stochastic decision order-independent, but only while two contracts hold:
+// each stream is drawn from inside its owning module only (the owner map
+// below), and draws happen unconditionally relative to the stream key —
+// a draw reached through a data-dependent branch shifts the draw schedule
+// of everything after it, the exact smell the semi-async and churn designs
+// keep out of their hot paths.
+//
+// Rules:
+//   rng-stream-owner      a Stream::k constant named outside its owning
+//                         file(s)
+//   rng-conditional-draw  a draw on a keyed_rng-initialized generator that
+//                         executes only inside an if/else/switch branch
+//                         opened after the generator's declaration (for /
+//                         while loops are fine — iteration counts are part
+//                         of the keyed schedule)
+//   rng-backoff-outcome   a kBackoff generator feeding a bernoulli — the
+//                         backoff stream shapes wait times, never
+//                         delivered/dropped outcomes
+#include <cctype>
+
+#include "analysis/analysis.hpp"
+
+namespace spatl::analysis {
+namespace {
+
+const std::set<std::string>& draw_methods() {
+  static const std::set<std::string> kMethods = {
+      "next",         "uniform",     "uniform_float",
+      "uniform_index", "uniform_int", "bernoulli",
+      "normal",       "normal_float", "gamma",
+      "dirichlet",    "categorical", "shuffle",
+      "sample_without_replacement",  "fork"};
+  return kMethods;
+}
+
+struct Owner {
+  const char* stream;
+  std::vector<const char*> prefixes;
+};
+
+const std::vector<Owner>& owner_map() {
+  static const std::vector<Owner> kOwners = {
+      {"Stream::kFate", {"src/fl/fault."}},
+      {"Stream::kLoss", {"src/fl/fault."}},
+      {"Stream::kCorrupt", {"src/fl/fault."}},
+      {"Stream::kByzantine", {"src/fl/fault."}},
+      {"Stream::kAttack", {"src/fl/fault."}},
+      {"Stream::kBackoff", {"src/fl/fault."}},
+      {"Stream::kStorage", {"src/fl/fault.", "src/fl/store/"}},
+      {"Stream::kJoin", {"src/fl/churn."}},
+      {"Stream::kLeave", {"src/fl/churn."}},
+      {"Stream::kReturn", {"src/fl/churn."}},
+  };
+  return kOwners;
+}
+
+std::size_t skip_ws_back(const std::string& code, std::size_t j) {
+  while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1]))) --j;
+  return j;
+}
+
+std::string ident_ending_at(const std::string& code, std::size_t j) {
+  std::size_t b = j;
+  while (b > 0 && ident_char(code[b - 1])) --b;
+  return code.substr(b, j - b);
+}
+
+/// True when the '{' at `pos` opens a branch taken conditionally: an
+/// if/else/switch body or a case/default label block.
+bool conditional_block(const std::string& code, std::size_t pos) {
+  std::size_t j = skip_ws_back(code, pos);
+  if (j == 0) return false;
+  const char c = code[j - 1];
+  if (c == ')') {
+    int depth = 0;
+    std::size_t i = j;
+    while (i > 0) {
+      --i;
+      if (code[i] == ')') ++depth;
+      if (code[i] == '(' && --depth == 0) break;
+    }
+    const std::string kw = ident_ending_at(code, skip_ws_back(code, i));
+    return kw == "if" || kw == "switch";
+  }
+  if (c == ':') return !(j >= 2 && code[j - 2] == ':');  // case/default label
+  return ident_ending_at(code, j) == "else";
+}
+
+std::size_t matching_paren_end(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return code.size();
+}
+
+/// The variable a `x = keyed_rng(...)` initialization assigns to; empty for
+/// temporaries, return values, and call arguments.
+std::string assigned_var(const std::string& code, std::size_t p) {
+  std::size_t j = p;
+  while (j > 0) {
+    const char c = code[j - 1];
+    if (c == '=') {
+      if (j >= 2) {
+        const char d = code[j - 2];
+        if (d == '=' || d == '!' || d == '<' || d == '>') return "";
+      }
+      return ident_ending_at(code, skip_ws_back(code, j - 1));
+    }
+    if (c == ';' || c == '{' || c == '}' || c == '(') return "";
+    --j;
+  }
+  return "";
+}
+
+/// The Stream::k constant inside [begin, end), or empty when the stream is
+/// a runtime value.
+std::string stream_in(const std::string& code, std::size_t begin,
+                      std::size_t end) {
+  const std::size_t p = code.find("Stream::k", begin);
+  if (p == std::string::npos || p >= end) return "";
+  std::size_t q = p + std::string("Stream::").size();
+  while (q < code.size() && ident_char(code[q])) ++q;
+  return code.substr(p, q - p);
+}
+
+void check_keyed_draws(const SourceFile& f, std::vector<Finding>* out) {
+  const std::string& code = f.text.code;
+  for (std::size_t p : find_token(code, "keyed_rng(")) {
+    const std::size_t call_open = p + std::string("keyed_rng").size();
+    const std::size_t call_end = matching_paren_end(code, call_open);
+    const std::string stream = stream_in(code, call_open, call_end);
+    const std::string var = assigned_var(code, p);
+    if (var.empty() || var == "return") continue;
+
+    // End of the declaring statement: first top-level ';' after the call.
+    std::size_t i = call_end;
+    int parens = 0;
+    while (i < code.size()) {
+      if (code[i] == '(') ++parens;
+      if (code[i] == ')') --parens;
+      if (code[i] == ';' && parens == 0) break;
+      ++i;
+    }
+
+    // Walk the rest of the enclosing scope: every brace opened after the
+    // declaration goes on a stack tagged conditional or not; a draw with a
+    // conditional frame below it is schedule-shifting.
+    std::vector<bool> frames;
+    while (++i < code.size()) {
+      const char c = code[i];
+      if (c == '{') {
+        frames.push_back(conditional_block(code, i));
+      } else if (c == '}') {
+        if (frames.empty()) break;  // left the generator's scope
+        frames.pop_back();
+      } else if (c == var[0] && code.compare(i, var.size(), var) == 0 &&
+                 token_at(code, i, var)) {
+        std::size_t q = i + var.size();
+        while (q < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[q]))) {
+          ++q;
+        }
+        std::string method;
+        if (q < code.size() && code[q] == '.') {
+          ++q;
+          while (q < code.size() && ident_char(code[q])) method += code[q++];
+          if (q >= code.size() || code[q] != '(') method.clear();
+        } else if (q < code.size() && code[q] == '(') {
+          method = "operator()";
+        }
+        const bool draws = method == "operator()" ||
+                           draw_methods().count(method) > 0;
+        if (draws) {
+          bool conditional = false;
+          for (const bool frame : frames) conditional = conditional || frame;
+          if (conditional) {
+            emit(f, out, "rng-conditional-draw", i,
+                 "draw '" + var + (method == "operator()" ? "()" : "." + method + "()") +
+                     "' on keyed stream " +
+                     (stream.empty() ? std::string("<runtime>") : stream) +
+                     " executes only inside a conditional branch — the "
+                     "branch shifts the stream's draw schedule; hoist the "
+                     "draw or fork a sub-stream");
+          }
+          if (stream == "Stream::kBackoff" && method == "bernoulli") {
+            emit(f, out, "rng-backoff-outcome", i,
+                 "kBackoff stream feeding a bernoulli outcome — backoff "
+                 "randomness shapes wait times only; delivery outcomes "
+                 "belong to kLoss/kFate");
+          }
+        }
+        i += var.size() - 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_rng_streams(const Project& project, std::vector<Finding>* out) {
+  for (const auto& f : project.files) {
+    if (f.rel.rfind("src/", 0) != 0) continue;
+    for (const auto& owner : owner_map()) {
+      bool owned = false;
+      for (const char* prefix : owner.prefixes) {
+        if (f.rel.rfind(prefix, 0) == 0) owned = true;
+      }
+      if (owned) continue;
+      for (std::size_t p : find_token(f.text.code, owner.stream)) {
+        std::string allowed;
+        for (const char* prefix : owner.prefixes) {
+          allowed += std::string(allowed.empty() ? "" : ", ") + prefix + "*";
+        }
+        emit(f, out, "rng-stream-owner", p,
+             std::string(owner.stream) + " referenced outside its owner (" +
+                 allowed +
+                 ") — streams are drawn only from their owning module so "
+                 "draw schedules stay private to one subsystem");
+      }
+    }
+    check_keyed_draws(f, out);
+  }
+}
+
+}  // namespace spatl::analysis

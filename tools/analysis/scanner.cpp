@@ -1,0 +1,224 @@
+#include "analysis/scanner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace spatl::analysis {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+namespace {
+
+/// True when the '"' at `pos` opens a raw string literal: it is preceded by
+/// an R (optionally prefixed u8/u/U/L) that begins its own token, as in
+/// R"(...)", u8R"tag(...)tag".
+bool raw_string_start(const std::string& in, std::size_t pos) {
+  if (pos == 0 || in[pos - 1] != 'R') return false;
+  std::size_t start = pos - 1;
+  if (start > 0) {
+    const char p = in[start - 1];
+    if (p == '8' && start > 1 && in[start - 2] == 'u') {
+      start -= 2;
+    } else if (p == 'u' || p == 'U' || p == 'L') {
+      start -= 1;
+    }
+  }
+  return start == 0 || !ident_char(in[start - 1]);
+}
+
+/// True when the '\'' at `pos` is a digit separator (1'000'000, 0xFF'FF):
+/// the identifier-ish token it abuts starts with a digit, so it cannot open
+/// a character literal.
+bool digit_separator(const std::string& in, std::size_t pos) {
+  std::size_t start = pos;
+  while (start > 0 && ident_char(in[start - 1])) --start;
+  return start < pos && std::isdigit(static_cast<unsigned char>(in[start]));
+}
+
+}  // namespace
+
+SourceText scan_source(std::string raw) {
+  SourceText out;
+  out.raw = std::move(raw);
+  const std::string& in = out.raw;
+
+  // Prefill both derived channels with blanks, keeping every newline so byte
+  // positions in any channel land on the same line.
+  out.code.assign(in.size(), ' ');
+  out.comments.assign(in.size(), ' ');
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '\n') {
+      out.code[i] = '\n';
+      out.comments[i] = '\n';
+    }
+  }
+
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::size_t literal_start = 0;  // opening quote of the literal in flight
+  std::string literal_text;
+  std::string raw_close;  // ")delim\"" that terminates the raw string
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char peek = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && peek == '/') {
+          state = State::kLine;
+          ++i;
+        } else if (c == '/' && peek == '*') {
+          state = State::kBlock;
+          ++i;
+        } else if (c == '"' && raw_string_start(in, i)) {
+          state = State::kRaw;
+          literal_start = i;
+          literal_text.clear();
+          std::string delim;
+          std::size_t j = i + 1;
+          while (j < in.size() && in[j] != '(' && delim.size() < 18) {
+            delim += in[j++];
+          }
+          raw_close = ")" + delim + "\"";
+          i = j;  // sits on '(' (or ran off a malformed prefix; loop copes)
+        } else if (c == '"') {
+          state = State::kString;
+          literal_start = i;
+          literal_text.clear();
+          out.code[i] = '"';
+        } else if (c == '\'' && !digit_separator(in, i)) {
+          state = State::kChar;
+          out.code[i] = '\'';
+        } else if (c != '\n') {
+          out.code[i] = c;
+        }
+        break;
+      case State::kLine:
+        // A backslash-newline splices physical lines before comments are
+        // recognized, so the comment swallows the next line too.
+        if (c == '\\') {
+          std::size_t j = i + 1;
+          if (j < in.size() && in[j] == '\r') ++j;
+          if (j < in.size() && in[j] == '\n') {
+            i = j;  // newline chars already live in the prefill
+            break;
+          }
+          out.comments[i] = c;
+        } else if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out.comments[i] = c;
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && peek == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out.comments[i] = c;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && peek != '\0') {
+          if (state == State::kString) {
+            literal_text += c;
+            literal_text += peek;
+          }
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          if (state == State::kString) {
+            out.strings.push_back({literal_start, literal_text});
+          }
+          out.code[i] = c;
+          state = State::kCode;
+        } else if (state == State::kString) {
+          literal_text += c;
+        }
+        break;
+      case State::kRaw:
+        if (in.compare(i, raw_close.size(), raw_close) == 0) {
+          out.strings.push_back({literal_start, literal_text});
+          i += raw_close.size() - 1;
+          state = State::kCode;
+        } else {
+          literal_text += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool token_at(const std::string& text, std::size_t p,
+              const std::string& token) {
+  if (p > 0 && ident_char(text[p - 1])) return false;
+  const std::size_t end = p + token.size();
+  if (!token.empty() && ident_char(token.back()) && end < text.size() &&
+      ident_char(text[end])) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> find_token(const std::string& text,
+                                    const std::string& token) {
+  std::vector<std::size_t> hits;
+  for (std::size_t p = text.find(token); p != std::string::npos;
+       p = text.find(token, p + 1)) {
+    if (token_at(text, p, token)) hits.push_back(p);
+  }
+  return hits;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  pos = std::min(pos, text.size());
+  return std::size_t(std::count(text.begin(),
+                                text.begin() + std::ptrdiff_t(pos), '\n')) +
+         1;
+}
+
+std::string line_text(const std::string& text, std::size_t pos) {
+  pos = std::min(pos, text.size());
+  std::size_t begin = text.rfind('\n', pos == 0 ? 0 : pos - 1);
+  begin = begin == std::string::npos ? 0 : begin + 1;
+  std::size_t end = text.find('\n', pos);
+  if (end == std::string::npos) end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::set<std::string> allowed_rules(const std::string& comments) {
+  std::set<std::string> rules;
+  const std::string directive = "spatl-lint: allow(";
+  for (std::size_t p = comments.find(directive); p != std::string::npos;
+       p = comments.find(directive, p + 1)) {
+    std::size_t q = p + directive.size();
+    std::string names;
+    while (q < comments.size() &&
+           (ident_char(comments[q]) || comments[q] == '-' ||
+            comments[q] == ',')) {
+      names += comments[q++];
+    }
+    if (q < comments.size() && comments[q] == ')') {
+      std::stringstream ss(names);
+      std::string one;
+      while (std::getline(ss, one, ',')) {
+        if (!one.empty()) rules.insert(one);
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace spatl::analysis

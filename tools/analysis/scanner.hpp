@@ -1,0 +1,73 @@
+// Shared token scanner for the spatl_lint analysis passes.
+//
+// One lexing pass over a C++ source file yields three parallel "channels",
+// each the same length as the input with newlines preserved, so a byte
+// position in any channel maps to the same 1-based line number:
+//
+//   code      comment text and string/char-literal contents blanked — the
+//             channel rule passes match tokens against, so prose and keys
+//             never trip a code rule.
+//   comments  only comment text visible, everything else blanked — the
+//             channel annotation conventions (// ckpt:, spatl-lint: allow)
+//             are parsed from, so a string literal can never masquerade as
+//             an annotation.
+//   strings   the extracted string-literal contents with their byte
+//             positions — used by passes that need literal values (include
+//             paths, checkpoint entry keys).
+//
+// The lexer understands the edge cases the old single-channel stripper
+// mishandled: raw string literals (R"delim(...)delim", including u8R/LR/uR/UR
+// prefixes), backslash-newline line continuations inside // comments (phase-2
+// splicing keeps the comment alive onto the next physical line), and digit
+// separators (1'000'000 — a ' after a numeric token is not a char literal).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spatl::analysis {
+
+/// One string literal: `pos` is the byte offset of the opening quote in the
+/// original text (valid in every channel), `text` the unescaped-as-written
+/// content between the quotes.
+struct StringLiteral {
+  std::size_t pos = 0;
+  std::string text;
+};
+
+struct SourceText {
+  std::string raw;
+  std::string code;
+  std::string comments;
+  std::vector<StringLiteral> strings;
+};
+
+/// Lex `raw` into the three channels described above.
+SourceText scan_source(std::string raw);
+
+bool ident_char(char c);
+
+/// Token occurrence test: `token` at position `p` in `text` with no
+/// identifier character butting against either end (tokens may end in
+/// punctuation such as '(' — only identifier-like ends are boundary-checked).
+bool token_at(const std::string& text, std::size_t p, const std::string& token);
+
+/// All token occurrences of `token` in `text`.
+std::vector<std::size_t> find_token(const std::string& text,
+                                    const std::string& token);
+
+/// 1-based line number of byte position `pos`.
+std::size_t line_of(const std::string& text, std::size_t pos);
+
+/// The trimmed content of the line containing `pos` — used as the
+/// drift-stable context key in baseline files.
+std::string line_text(const std::string& text, std::size_t pos);
+
+/// Rules a file opted out of via `spatl-lint: allow(rule[,rule...])`
+/// directives. Parsed from the comments channel so only a real comment can
+/// grant an exception.
+std::set<std::string> allowed_rules(const std::string& comments);
+
+}  // namespace spatl::analysis

@@ -83,6 +83,7 @@ int usage() {
                "           recovery / sampling:\n"
                "           [--checkpoint-every K] [--checkpoint-path FILE]\n"
                "           [--ckpt-dir DIR] [--ckpt-keep K] [--ckpt-verify]\n"
+               "           [--no-store-resume]\n"
                "           [--resume FILE] [--divergence-factor F]\n"
                "           [--fault-aware-sampling] [--fault-ema-decay F]\n"
                "           telemetry (observation only):\n"
@@ -296,6 +297,11 @@ int cmd_train(const common::Flags& flags) {
     sc.keep_last = std::size_t(flags.get_int("ckpt-keep", int(sc.keep_last)));
     sc.verify_on_commit = flags.get_bool("ckpt-verify", false);
     ro.ckpt_store = sc;
+    // Cross-run reuse: pointing a fresh process at the same directory
+    // resumes from the newest valid generation automatically. An explicit
+    // --resume snapshot wins; --no-store-resume forces a cold start.
+    ro.resume_from_store = flags.get("resume").empty() &&
+                           !flags.get_bool("no-store-resume", false);
   }
   ro.krum_auto_f = flags.get_bool("krum-auto-f", false);
   ro.divergence_factor = flags.get_double("divergence-factor", 0.0);

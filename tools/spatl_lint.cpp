@@ -1,394 +1,211 @@
-// spatl_lint — repo-invariant checker for the SPATL source tree.
+// spatl_lint — project-aware static analysis driver for the SPATL tree.
 //
-// Scans src/, tools/, tests/, bench/, examples/ for constructs that break
-// the repository's determinism and resource-safety contracts:
+// Four passes over src/, tools/, tests/, bench/, examples/ (see
+// tools/analysis/ and DESIGN.md §14):
 //
-//   banned-random   rand()/srand()/std::random_device/time() — all
-//                   randomness must flow through common::Rng seeds so runs
-//                   are replayable.
-//   chrono-now      argless <chrono> clock ::now() outside
-//                   src/common/timer.hpp — wall-clock reads hidden in
-//                   compute paths break bit-reproducible simulation.
-//   fl-unordered    std::unordered_map/std::unordered_set inside src/fl —
-//                   hash-order iteration reorders float aggregation.
-//   naked-new       raw new/delete — ownership goes through containers and
-//                   smart pointers ('= delete' declarations are fine).
-//   pragma-once     every .hpp must start its include guard with
-//                   #pragma once.
-//   raw-thread      std::thread/std::jthread outside
-//                   src/common/thread_pool.* — all parallelism goes through
-//                   the pool so determinism and shutdown stay centralized.
-//   raw-stderr      fprintf(stderr, ...)/std::cerr outside
-//                   src/common/log.cpp and the src/obs exporters — ad-hoc
-//                   stderr writes bypass the log-level filter and interleave
-//                   with telemetry output.
-//   async-wallclock any clock machinery (<chrono> types, sleep_for, the
-//                   common/timer.hpp helper) inside src/fl/async.* — the
-//                   semi-async straggler buffer is keyed on simulated
-//                   virtual time only; a wall-clock read there would make
-//                   buffered runs machine-dependent.
-//   store-bypass    raw tensor-container I/O (save_tensors/load_tensors/
-//                   write_tensors/read_tensors) inside src/fl outside
-//                   src/fl/store — run state must flow through the durable
-//                   store layer (atomic tmp+rename commits, CRC
-//                   verification, generational retention); a direct write
-//                   reopens the torn-write corruption hole the store closes.
+//   legacy    the per-file determinism/resource rules: banned-random,
+//             chrono-now, fl-unordered, naked-new, pragma-once, raw-thread,
+//             raw-stderr, async-wallclock, store-bypass
+//   include   include-graph layering (include-layer, include-cycle)
+//   ckpt      checkpoint-coverage audit of // ckpt: annotations vs pack /
+//             unpack sites (ckpt-unannotated-field, ckpt-missing-pack,
+//             ckpt-missing-unpack)
+//   rng       RNG stream discipline (rng-stream-owner, rng-conditional-draw,
+//             rng-backoff-outcome)
 //
 // A file opts out of one rule with a comment of the form
-//   spatl-lint: allow(<rule>)        (inside any // or /* */ comment)
-// which documents the exception in place. Comment and string literal
-// contents are excluded from rule matching, so prose never trips a rule.
+//   spatl-lint: allow(<rule>)
+// Cross-file findings that predate a rule are grandfathered in the baseline
+// file (default tools/analysis/lint_baseline.txt; regenerate with
+// --write-baseline after deliberately accepting a finding). Baselined
+// findings do not fail the run but stay visible in the SARIF report.
 // This tool IS the repo's CLI diagnostics surface, hence:
 // spatl-lint: allow(raw-stderr)
 //
-// Usage: spatl_lint [repo-root]   (exit 0 clean, 1 violations, 2 error)
-#include <algorithm>
-#include <cctype>
+// Usage: spatl_lint [options] [repo-root]
+//   --sarif PATH       write a SARIF 2.1.0 report (all findings, suppressed
+//                      ones marked)
+//   --baseline PATH    baseline file (default: <root>/tools/analysis/
+//                      lint_baseline.txt when present)
+//   --no-baseline      ignore any baseline file
+//   --write-baseline   rewrite the baseline from the current findings, then
+//                      exit 0
+//   --pass NAMES       comma-separated subset of legacy,include,ckpt,rng
+//
+// Exit: 0 clean (or fully baselined), 1 non-baselined findings, 2 error.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
+using namespace spatl::analysis;
 
-struct Violation {
-  std::string file;   // repo-relative path
-  std::size_t line;   // 1-based
-  std::string rule;
-  std::string message;
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return bool(out);
 }
 
-/// Replace comment and string/char literal contents with spaces, preserving
-/// newlines so line numbers survive. Escape sequences inside literals are
-/// honoured.
-std::string strip_comments_and_strings(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-          out += '"';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out += '\'';
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-          out += c;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// Token occurrence: `token` at position p with no identifier character
-/// immediately before or after (tokens may themselves end in '(').
-bool token_at(const std::string& text, std::size_t p,
-              const std::string& token) {
-  if (p > 0 && ident_char(text[p - 1])) return false;
-  const std::size_t end = p + token.size();
-  if (!token.empty() && ident_char(token.back()) && end < text.size() &&
-      ident_char(text[end])) {
-    return false;
-  }
-  return true;
-}
-
-std::size_t line_of(const std::string& text, std::size_t pos) {
-  return std::size_t(std::count(text.begin(), text.begin() + long(pos), '\n')) +
-         1;
-}
-
-/// All token occurrences of `token` in stripped `text`.
-std::vector<std::size_t> find_token(const std::string& text,
-                                    const std::string& token) {
-  std::vector<std::size_t> hits;
-  for (std::size_t p = text.find(token); p != std::string::npos;
-       p = text.find(token, p + 1)) {
-    if (token_at(text, p, token)) hits.push_back(p);
-  }
-  return hits;
-}
-
-/// Rules a file opted out of via allow comments (parsed from the raw text,
-/// since the directive lives inside a comment).
-std::set<std::string> allowed_rules(const std::string& raw) {
-  std::set<std::string> rules;
-  const std::string directive = "spatl-lint: allow(";
-  for (std::size_t p = raw.find(directive); p != std::string::npos;
-       p = raw.find(directive, p + 1)) {
-    std::size_t q = p + directive.size();
-    std::string name;
-    while (q < raw.size() &&
-           (ident_char(raw[q]) || raw[q] == '-' || raw[q] == ',')) {
-      name += raw[q++];
-    }
-    if (q < raw.size() && raw[q] == ')') {
-      std::stringstream ss(name);
-      std::string one;
-      while (std::getline(ss, one, ',')) {
-        if (!one.empty()) rules.insert(one);
-      }
-    }
-  }
-  return rules;
-}
-
-struct FileReport {
-  std::string rel;
-  std::string raw;
-  std::string code;  // comments/strings blanked
-  std::set<std::string> allowed;
-  std::vector<Violation>* out;
-
-  void add(const std::string& rule, std::size_t pos,
-           const std::string& message) {
-    if (allowed.count(rule)) return;
-    out->push_back({rel, line_of(code, pos), rule, message});
-  }
-};
-
-void check_banned_random(FileReport& f) {
-  for (const char* token : {"rand(", "srand(", "time("}) {
-    for (std::size_t p : find_token(f.code, token)) {
-      f.add("banned-random", p,
-            std::string(token) +
-                ") call — use a seeded common::Rng so runs replay");
-    }
-  }
-  for (std::size_t p : find_token(f.code, "random_device")) {
-    f.add("banned-random", p,
-          "std::random_device — nondeterministic entropy source");
-  }
-}
-
-void check_chrono_now(FileReport& f) {
-  if (f.rel == "src/common/timer.hpp") return;
-  for (std::size_t p : find_token(f.code, "now(")) {
-    if (p >= 2 && f.code[p - 1] == ':' && f.code[p - 2] == ':') {
-      f.add("chrono-now", p,
-            "clock ::now() outside common/timer.hpp — wall-clock reads "
-            "break reproducibility");
-    }
-  }
-}
-
-void check_fl_unordered(FileReport& f) {
-  if (f.rel.rfind("src/fl/", 0) != 0) return;
-  for (const char* token : {"unordered_map", "unordered_set"}) {
-    for (std::size_t p : find_token(f.code, token)) {
-      f.add("fl-unordered", p,
-            std::string("std::") + token +
-                " in an aggregation path — hash-order iteration reorders "
-                "float reductions; use std::map/std::vector");
-    }
-  }
-}
-
-void check_naked_new(FileReport& f) {
-  for (std::size_t p : find_token(f.code, "new")) {
-    f.add("naked-new", p, "raw new — use containers or std::make_unique");
-  }
-  for (std::size_t p : find_token(f.code, "delete")) {
-    std::size_t q = p;
-    while (q > 0 && std::isspace(static_cast<unsigned char>(f.code[q - 1]))) {
-      --q;
-    }
-    if (q > 0 && f.code[q - 1] == '=') continue;  // deleted member function
-    f.add("naked-new", p, "raw delete — ownership must be RAII-managed");
-  }
-}
-
-void check_pragma_once(FileReport& f) {
-  if (f.rel.size() < 4 || f.rel.substr(f.rel.size() - 4) != ".hpp") return;
-  if (f.raw.find("#pragma once") == std::string::npos) {
-    f.add("pragma-once", 0, "header is missing #pragma once");
-  }
-}
-
-void check_raw_thread(FileReport& f) {
-  if (f.rel == "src/common/thread_pool.hpp" ||
-      f.rel == "src/common/thread_pool.cpp") {
-    return;
-  }
-  for (const char* token : {"thread", "jthread"}) {
-    for (std::size_t p : find_token(f.code, token)) {
-      if (p >= 5 && f.code.compare(p - 5, 5, "std::") == 0) {
-        f.add("raw-thread", p,
-              std::string("std::") + token +
-                  " outside common/thread_pool — route parallelism through "
-                  "ThreadPool/parallel_for");
-      }
-    }
-  }
-}
-
-void check_raw_stderr(FileReport& f) {
-  if (f.rel == "src/common/log.cpp") return;    // the sanctioned log sink
-  if (f.rel.rfind("src/obs/", 0) == 0) return;  // telemetry exporters
-  for (std::size_t p : find_token(f.code, "stderr")) {
-    f.add("raw-stderr", p,
-          "raw stderr write — route diagnostics through common/log.hpp "
-          "(log_warn/log_error)");
-  }
-  for (std::size_t p : find_token(f.code, "cerr")) {
-    if (p >= 5 && f.code.compare(p - 5, 5, "std::") == 0) {
-      f.add("raw-stderr", p,
-            "std::cerr — route diagnostics through common/log.hpp "
-            "(log_warn/log_error)");
-    }
-  }
-}
-
-void check_async_wallclock(FileReport& f) {
-  if (f.rel.rfind("src/fl/async", 0) != 0) return;
-  // Stricter than chrono-now: in the semi-async buffer even naming a clock
-  // type is banned, because any time source other than the fault model's
-  // virtual compute_time would break bit-reproducible buffered runs.
-  for (const char* token : {"chrono", "steady_clock", "system_clock",
-                            "high_resolution_clock", "time_point",
-                            "sleep_for"}) {
-    for (std::size_t p : find_token(f.code, token)) {
-      f.add("async-wallclock", p,
-            std::string(token) +
-                " in src/fl/async — the straggler buffer runs on virtual "
-                "time only (FaultModel compute_time draws)");
-    }
-  }
-  // The include lives inside a string literal (blanked in f.code), so the
-  // raw text is the only place to catch it.
-  // Newlines survive stripping, so the raw position maps to the same line.
-  const std::size_t inc = f.raw.find("common/timer.hpp");
-  if (inc != std::string::npos) {
-    f.add("async-wallclock", inc,
-          "common/timer.hpp include in src/fl/async — timers are wall "
-          "clocks; key buffering on simulated compute_time instead");
-  }
-}
-
-void check_store_bypass(FileReport& f) {
-  if (f.rel.rfind("src/fl/", 0) != 0) return;
-  if (f.rel.rfind("src/fl/store/", 0) == 0) return;  // the sanctioned layer
-  for (const char* token : {"save_tensors", "load_tensors", "write_tensors",
-                            "read_tensors"}) {
-    for (std::size_t p : find_token(f.code, token)) {
-      f.add("store-bypass", p,
-            std::string(token) +
-                " in src/fl outside fl/store — route run-state persistence "
-                "through the durable store (atomic commit + CRC "
-                "verification + retention)");
-    }
-  }
+std::string read_text(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  *ok = bool(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  std::string root = ".";
+  std::string sarif_path;
+  std::string baseline_path;
+  bool no_baseline = false;
+  bool write_baseline = false;
+  std::string passes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "spatl_lint: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sarif") {
+      sarif_path = value("--sarif");
+    } else if (arg == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--pass") {
+      passes = value("--pass");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "spatl_lint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      root = arg;
+    }
+  }
   if (!fs::is_directory(root)) {
-    std::fprintf(stderr, "spatl_lint: not a directory: %s\n",
-                 root.string().c_str());
+    std::fprintf(stderr, "spatl_lint: not a directory: %s\n", root.c_str());
     return 2;
   }
 
-  std::vector<fs::path> files;
-  for (const char* top : {"src", "tools", "tests", "bench", "examples"}) {
-    const fs::path dir = root / top;
-    if (!fs::is_directory(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+  Options options;
+  if (!passes.empty()) {
+    options = Options{false, false, false, false};
+    std::stringstream ss(passes);
+    std::string one;
+    while (std::getline(ss, one, ',')) {
+      if (one == "legacy") {
+        options.legacy = true;
+      } else if (one == "include") {
+        options.include_graph = true;
+      } else if (one == "ckpt") {
+        options.ckpt = true;
+      } else if (one == "rng") {
+        options.rng = true;
+      } else {
+        std::fprintf(stderr, "spatl_lint: unknown pass '%s'\n", one.c_str());
+        return 2;
+      }
     }
   }
-  std::sort(files.begin(), files.end());
 
-  std::vector<Violation> violations;
-  std::size_t allowed_files = 0;
-  for (const auto& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "spatl_lint: cannot read %s\n",
-                   path.string().c_str());
+  const Project project = load_project(root);
+  for (const auto& path : project.errors) {
+    std::fprintf(stderr, "spatl_lint: cannot read %s\n", path.c_str());
+  }
+  if (!project.errors.empty()) return 2;
+
+  Report report = analyze(project, options);
+
+  if (baseline_path.empty()) {
+    const fs::path candidate =
+        fs::path(root) / "tools" / "analysis" / "lint_baseline.txt";
+    if (fs::is_regular_file(candidate)) baseline_path = candidate.string();
+  }
+
+  if (write_baseline) {
+    if (baseline_path.empty()) {
+      baseline_path =
+          (fs::path(root) / "tools" / "analysis" / "lint_baseline.txt")
+              .string();
+    }
+    const std::string body =
+        "# spatl_lint baseline — grandfathered findings, one per line:\n"
+        "#   <rule> <file> | <trimmed source line>\n"
+        "# Matching ignores line numbers, so entries survive unrelated "
+        "edits.\n"
+        "# Regenerate with: spatl_lint --write-baseline <repo-root>\n" +
+        format_baseline(report, project);
+    if (!write_text(baseline_path, body)) {
+      std::fprintf(stderr, "spatl_lint: cannot write %s\n",
+                   baseline_path.c_str());
       return 2;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    FileReport f;
-    f.rel = fs::relative(path, root).generic_string();
-    f.raw = buf.str();
-    f.code = strip_comments_and_strings(f.raw);
-    f.allowed = allowed_rules(f.raw);
-    if (!f.allowed.empty()) ++allowed_files;
-    f.out = &violations;
-    check_banned_random(f);
-    check_chrono_now(f);
-    check_fl_unordered(f);
-    check_naked_new(f);
-    check_pragma_once(f);
-    check_raw_thread(f);
-    check_raw_stderr(f);
-    check_async_wallclock(f);
-    check_store_bypass(f);
+    std::printf("spatl-lint: baseline with %zu finding(s) written to %s\n",
+                report.findings.size(), baseline_path.c_str());
+    return 0;
   }
 
-  for (const auto& v : violations) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
-                 v.rule.c_str(), v.message.c_str());
+  std::size_t stale = 0;
+  if (!no_baseline && !baseline_path.empty()) {
+    bool ok = false;
+    const std::string text = read_text(baseline_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "spatl_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    stale = apply_baseline(&report, project, parse_baseline(text));
   }
-  std::printf("spatl-lint: %zu file(s), %zu violation(s), %zu with allow "
-              "exceptions\n",
-              files.size(), violations.size(), allowed_files);
-  return violations.empty() ? 0 : 1;
+
+  if (!sarif_path.empty()) {
+    if (!write_text(sarif_path, to_sarif(report))) {
+      std::fprintf(stderr, "spatl_lint: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+  }
+
+  std::size_t open = 0;
+  std::size_t suppressed = 0;
+  for (const auto& f : report.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++open;
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (stale > 0) {
+    std::fprintf(stderr,
+                 "spatl_lint: warning: %zu stale baseline entr%s (finding "
+                 "fixed but still listed) — regenerate with "
+                 "--write-baseline\n",
+                 stale, stale == 1 ? "y" : "ies");
+  }
+
+  for (const auto& [rule, counts] : rule_counts(report)) {
+    std::printf("spatl-lint:   %-24s %zu finding(s), %zu baselined\n",
+                rule.c_str(), counts.first, counts.second);
+  }
+  std::printf(
+      "spatl-lint: %zu file(s), %zu finding(s) (%zu baselined), %zu with "
+      "allow exceptions\n",
+      report.files_scanned, report.findings.size(), suppressed,
+      report.files_with_allow);
+  return open == 0 ? 0 : 1;
 }
