@@ -38,8 +38,19 @@
 #       than --fast and advisory (no threshold gate), so it is NOT part of
 #       --all. Default build dir: build-coverage.
 #
+#   scripts/check.sh --perf [build-dir]    perf tier: Release build of the
+#       bench_perf kernel microbenches (GEMM, conv, robust aggregation,
+#       checkpoint packing, store commit), min-of-N timings written to
+#       <build-dir>/BENCH_PERF.json and gated by scripts/perf_gate.py
+#       against bench/baselines/BENCH_PERF.baseline.json. Machine-dependent
+#       by nature, so it is NOT part of --all; tolerances in the baseline
+#       are sized for laptop-class variance. Refresh the baseline by
+#       copying a clean BENCH_PERF.json over it on a quiet machine.
+#       Default: build.
+#
 #   scripts/check.sh --all                 every tier in sequence — the
-#       pre-merge gate (coverage excluded: advisory, not a gate).
+#       pre-merge gate (coverage and perf excluded: advisory/machine-
+#       dependent, not merge gates).
 #
 # All tiers configure with SPATL_WERROR=ON: warnings fail the gate.
 set -euo pipefail
@@ -48,7 +59,7 @@ cd "$(dirname "$0")/.."
 
 MODE="san"
 case "${1:-}" in
-  --fast|--san|--thread|--lint|--coverage|--all) MODE="${1#--}"; shift ;;
+  --fast|--san|--thread|--lint|--coverage|--perf|--all) MODE="${1#--}"; shift ;;
 esac
 
 NPROC="$(nproc)"
@@ -174,12 +185,25 @@ run_coverage() {
   echo "coverage report done (objects in $dir, .gcov files in $scratch)"
 }
 
+run_perf() {
+  local dir="${1:-build}"
+  cmake -B "$dir" -S . -DSPATL_WERROR=ON
+  cmake --build "$dir" -j "$NPROC" --target bench_perf
+  # Full min-of-N sweep (a smoke run makes no wall-time claim and would be
+  # rejected by the gate).
+  "$dir"/bench/bench_perf --out "$dir"/BENCH_PERF.json
+  python3 scripts/perf_gate.py "$dir"/BENCH_PERF.json \
+    bench/baselines/BENCH_PERF.baseline.json
+  echo "perf check passed"
+}
+
 case "$MODE" in
   fast)   run_fast "${1:-}" ;;
   san)    run_san "${1:-}" ;;
   thread) run_thread "${1:-}" ;;
   lint)   run_lint "${1:-}" ;;
   coverage) run_coverage "${1:-}" ;;
+  perf)   run_perf "${1:-}" ;;
   all)
     run_fast
     run_san

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Performance regression gate over bench_perf output.
+
+    python3 scripts/perf_gate.py <current.json> <baseline.json>
+
+Both files are "spatl-bench-perf-v1" documents. The baseline additionally
+carries tolerances: `tolerance_default` (fractional headroom applied to
+every kernel) and per-kernel overrides under `tolerances` for kernels with
+inherently noisier timings (disk-bound store commits, for example).
+
+A kernel FAILS when
+
+    current.min_ns_per_rep > baseline.min_ns_per_rep * (1 + tolerance)
+
+Missing kernels fail too (a silently dropped kernel must not pass the
+gate), as do handicapped or smoke-mode current runs — those make no honest
+wall-time claim. Exit codes: 0 pass, 1 regression, 2 bad input.
+"""
+
+import json
+import sys
+
+SCHEMA = "spatl-bench-perf-v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != SCHEMA:
+        print(f"perf_gate: {path} is not a {SCHEMA} document", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current = load(argv[1])
+    baseline = load(argv[2])
+
+    if current.get("mode") != "full":
+        print("perf_gate: current run is not a full sweep (smoke mode makes "
+              "no wall-time claims)", file=sys.stderr)
+        return 2
+    handicapped = [
+        name for name, k in current.get("kernels", {}).items()
+        if "handicap" in k
+    ]
+    if handicapped:
+        print(f"perf_gate: current run is handicapped ({', '.join(handicapped)}) "
+              "— measurements are synthetic", file=sys.stderr)
+        # A handicapped run still flows through the comparison below: the
+        # handicap exists precisely to demonstrate the failure path.
+
+    tol_default = float(baseline.get("tolerance_default", 1.0))
+    tol_overrides = baseline.get("tolerances", {})
+
+    failures = 0
+    print(f"{'kernel':<16}{'baseline ns':>14}{'current ns':>14}"
+          f"{'limit ns':>14}{'tol':>7}  verdict")
+    for name, base in sorted(baseline.get("kernels", {}).items()):
+        base_ns = float(base["min_ns_per_rep"])
+        tol = float(tol_overrides.get(name, tol_default))
+        limit = base_ns * (1.0 + tol)
+        cur = current.get("kernels", {}).get(name)
+        if cur is None:
+            print(f"{name:<16}{base_ns:>14.0f}{'missing':>14}{limit:>14.0f}"
+                  f"{tol:>7.2f}  FAIL (kernel absent from current run)")
+            failures += 1
+            continue
+        cur_ns = float(cur["min_ns_per_rep"])
+        verdict = "ok" if cur_ns <= limit else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(f"{name:<16}{base_ns:>14.0f}{cur_ns:>14.0f}{limit:>14.0f}"
+              f"{tol:>7.2f}  {verdict}")
+
+    extra = sorted(set(current.get("kernels", {})) -
+                   set(baseline.get("kernels", {})))
+    if extra:
+        print(f"note: kernels not in baseline (unchecked): {', '.join(extra)}")
+
+    if failures:
+        print(f"perf gate FAILED: {failures} kernel(s) regressed beyond "
+              "tolerance", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,11 +21,19 @@ struct CommSnapshot {
 
   double total() const { return uplink + downlink; }
 
-  /// Counter deltas accumulated since `earlier` (monotone counters, so a
-  /// plain subtraction).
+  /// Counter deltas accumulated since `earlier`. The counters are
+  /// monotone within a run, so this is normally a plain subtraction; a
+  /// later total BELOW `earlier` means the ledger was reset (or restored
+  /// to an older snapshot) between the two observations, in which case the
+  /// flow since that reset — the later total itself — is reported instead
+  /// of a nonsensical negative delta.
   CommSnapshot since(const CommSnapshot& earlier) const {
-    return {uplink - earlier.uplink, downlink - earlier.downlink,
-            retransmitted - earlier.retransmitted};
+    const auto delta = [](double now, double before) {
+      return now >= before ? now - before : now;
+    };
+    return {delta(uplink, earlier.uplink),
+            delta(downlink, earlier.downlink),
+            delta(retransmitted, earlier.retransmitted)};
   }
 };
 

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "obs/alert.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -373,6 +374,10 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
     if (rec.applied) {
       ++result.recoveries_from_store;
       start_round = recovered + 1;
+    } else if (rec.failed_attempts > 0 && opts.flight != nullptr) {
+      // Every generation in the directory was rejected: the window is
+      // empty this early, but the exhaustion itself is worth a record.
+      opts.flight->dump("recovery_exhausted", 0);
     }
   }
 
@@ -387,13 +392,19 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
   const std::size_t telemetry_stride =
       std::max<std::size_t>(1, opts.telemetry_every);
 
+  const bool flight_on = opts.flight != nullptr;
+
   for (std::size_t round = start_round; round <= opts.rounds; ++round) {
     const bool telemetry_round =
         opts.telemetry != nullptr &&
         (round % telemetry_stride == 0 || round == opts.rounds);
+    // The flight recorder keeps EVERY round's rendered record in its ring
+    // (stride-independent), so a record is built whenever either consumer
+    // is attached.
+    const bool render_record = telemetry_round || flight_on;
     CommSnapshot comm_start;
     std::uint64_t trace_start = 0;
-    if (telemetry_round) {
+    if (render_record) {
       comm_start = algo.ledger().snapshot();
       trace_start = tracer.cursor();
     }
@@ -592,6 +603,9 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
             algo.run_round(active);
             stats = algo.round_stats();
             stats.rolled_back = true;
+            // Post-mortem window: the rounds that led into the explosion
+            // (this round's own record is rendered after the dump).
+            if (flight_on) opts.flight->dump("divergence_rollback", round);
             if (defended) {
               algo.set_fault_injection(faults ? &*faults : nullptr, current);
             } else {
@@ -712,7 +726,7 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
       }
     }
 
-    if (telemetry_round) {
+    if (render_record) {
       // One unified record per telemetry round: participation/failure
       // stats, ledger byte deltas, robust-aggregation attribution,
       // divergence-guard actions, and (when tracing) per-phase wall times.
@@ -790,19 +804,26 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
                                          .str());
           // Cumulative per-phase latency distribution (one sample per
           // telemetry round) — lands in the end-of-run "metrics" record of
-          // the same JSONL stream via metrics_object().
+          // the same JSONL stream via metrics_object(). The fixed-bucket
+          // histogram gives the coarse shape; the log-bucket sketch
+          // refines it into percentiles with bounded relative error.
           if (histogram_phase(phase.name)) {
             std::string metric = phase.name;
             for (char& c : metric) {
               if (c == '/') c = '.';
             }
+            const double ms = double(phase.total_ns) / 1.0e6;
             registry.histogram(metric + ".round_ms", phase_latency_bounds_ms())
-                .record(double(phase.total_ns) / 1.0e6);
+                .record(ms);
+            registry.sketch(metric + ".round_ms").record(ms);
           }
         }
         rec.add_raw("phases", phases.str());
       }
-      opts.telemetry->write(rec);
+      if (telemetry_round) opts.telemetry->write(rec);
+      if (flight_on) {
+        opts.flight->record_round(std::uint64_t(round), rec.str());
+      }
     }
 
     // Failover drill: lose the server at the end of this round, once. All
@@ -812,6 +833,9 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
     if (drills && round < crash_fired.size() &&
         contains(opts.crash_at_rounds, round) && !crash_fired[round]) {
       crash_fired[round] = 1;
+      // The flight window is most valuable at the moment of the crash —
+      // dump it before recovery rewinds the loop and overwrites history.
+      if (flight_on) opts.flight->dump("crash_drill", std::uint64_t(round));
       std::size_t recovered = 0;
       std::string crash_source;
       if (store) {
@@ -831,6 +855,9 @@ RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
         } else {
           recovered = restore_checkpoint(baseline);
           crash_source = "baseline";
+          if (flight_on) {
+            opts.flight->dump("recovery_exhausted", std::uint64_t(round));
+          }
         }
       } else {
         const RunCheckpoint& source =

@@ -28,6 +28,7 @@
 
 namespace spatl::obs {
 class AlertWatcher;
+class FlightRecorder;
 class JsonlWriter;
 }  // namespace spatl::obs
 
@@ -188,6 +189,14 @@ struct RunOptions {
   /// owned; must outlive the run.
   obs::JsonlWriter* telemetry = nullptr;
   std::size_t telemetry_every = 1;
+
+  /// Flight recorder (DESIGN.md §10.1): when non-null, EVERY round's
+  /// rendered telemetry record (whether or not the round hits the JSONL
+  /// stride) is pushed into the recorder's bounded ring, and the runner
+  /// dumps the window as one "type":"flight" record on divergence
+  /// rollback, crash drill, and recovery-ladder exhaustion. Pure
+  /// observation, like `telemetry`. Not owned; must outlive the run.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct RunResult {

@@ -135,10 +135,25 @@ JsonObject metrics_object(const MetricsSnapshot& snapshot) {
         .add("sum", h.sum);
     histograms.add_raw(name, hist.str());
   }
+  JsonObject sketches;
+  for (const auto& [name, s] : snapshot.sketches) {
+    JsonObject sk;
+    sk.add("count", s.count)
+        .add("sum", s.sum)
+        .add("min", s.min)
+        .add("max", s.max)
+        .add("relative_accuracy", s.relative_accuracy)
+        .add("p50", s.p50)
+        .add("p90", s.p90)
+        .add("p95", s.p95)
+        .add("p99", s.p99);
+    sketches.add_raw(name, sk.str());
+  }
   JsonObject out;
   out.add_raw("counters", counters.str())
       .add_raw("gauges", gauges.str())
-      .add_raw("histograms", histograms.str());
+      .add_raw("histograms", histograms.str())
+      .add_raw("sketches", sketches.str());
   return out;
 }
 

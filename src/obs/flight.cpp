@@ -1,0 +1,44 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+
+namespace spatl::obs {
+
+FlightRecorder::FlightRecorder(JsonlWriter* sink, std::size_t capacity)
+    : sink_(sink), capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void FlightRecorder::record_round(std::uint64_t round,
+                                  std::string rendered_record) {
+  window_.emplace_back(round, std::move(rendered_record));
+  ++seen_;
+  if (window_.size() > capacity_) {
+    window_.pop_front();
+    ++dropped_;
+  }
+}
+
+void FlightRecorder::dump(const std::string& trigger, std::uint64_t round) {
+  ++dumps_;
+  if (sink_ == nullptr) return;
+  std::string records = "[";
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    if (i > 0) records += ',';
+    records += window_[i].second;
+  }
+  records += ']';
+  JsonObject rec;
+  rec.add("type", "flight")
+      .add("trigger", trigger)
+      .add("round", round)
+      .add("window", std::uint64_t(window_.size()))
+      .add("rounds_seen", seen_)
+      .add("rounds_dropped", dropped_);
+  if (!window_.empty()) {
+    rec.add("first_round", window_.front().first)
+        .add("last_round", window_.back().first);
+  }
+  rec.add_raw("records", records);
+  sink_->write(rec);
+}
+
+}  // namespace spatl::obs

@@ -1,0 +1,58 @@
+// Flight recorder (DESIGN.md §10.1): a bounded ring of the most recent
+// rendered round-telemetry records, dumped as one `"type":"flight"` JSONL
+// record when the run hits something worth a post-mortem — a divergence
+// rollback, an injected crash drill, or recovery-ladder exhaustion (every
+// durable generation rejected). The dump carries the window verbatim
+// (each entry is the same JSON object the per-round telemetry would have
+// emitted, phases and byte deltas included), so the last N rounds leading
+// into the incident can be replayed through `spatl_report` without having
+// run with per-round telemetry enabled at full stride.
+//
+// Off-switch contract: the recorder is observation only. The runner
+// renders records into the ring and never reads them back, so attaching a
+// recorder cannot move a float — locked by the telemetry bit-identity
+// memcmp test alongside the rest of the layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace spatl::obs {
+
+class FlightRecorder {
+ public:
+  /// `sink` is not owned and must outlive the recorder; null disables
+  /// emission (dumps are still counted). `capacity` is the ring size in
+  /// round records (clamped to >= 1).
+  explicit FlightRecorder(JsonlWriter* sink, std::size_t capacity = 16);
+
+  /// Push one rendered round record; the oldest entry beyond capacity is
+  /// dropped (and counted).
+  void record_round(std::uint64_t round, std::string rendered_record);
+
+  /// Emit the current window as one "type":"flight" record attributed to
+  /// `trigger` at `round`. The window is kept (overlapping incidents each
+  /// dump the rounds leading into them).
+  void dump(const std::string& trigger, std::uint64_t round);
+
+  std::size_t window_size() const { return window_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dumps() const { return dumps_; }
+  std::uint64_t rounds_seen() const { return seen_; }
+  std::uint64_t rounds_dropped() const { return dropped_; }
+
+ private:
+  JsonlWriter* sink_;
+  std::size_t capacity_;
+  std::deque<std::pair<std::uint64_t, std::string>> window_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::size_t dumps_ = 0;
+};
+
+}  // namespace spatl::obs

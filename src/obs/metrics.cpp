@@ -89,6 +89,29 @@ Histogram MetricsRegistry::histogram(const std::string& name,
   return Histogram(this, e.slot, e.bounds);
 }
 
+Sketch MetricsRegistry::sketch(const std::string& name,
+                               double relative_accuracy) {
+  std::lock_guard<std::mutex> lock(sketch_mu_);
+  auto it = sketch_names_.find(name);
+  if (it != sketch_names_.end()) {
+    if (sketch_store_[it->second].relative_accuracy() != relative_accuracy) {
+      throw std::invalid_argument("MetricsRegistry: sketch '" + name +
+                                  "' already registered with another "
+                                  "relative accuracy");
+    }
+    return Sketch(this, it->second);
+  }
+  sketch_store_.emplace_back(relative_accuracy);
+  const std::size_t index = sketch_store_.size() - 1;
+  sketch_names_.emplace(name, index);
+  return Sketch(this, index);
+}
+
+void MetricsRegistry::record_sketch(std::size_t index, double value) {
+  std::lock_guard<std::mutex> lock(sketch_mu_);
+  sketch_store_[index].record(value);
+}
+
 std::uint64_t MetricsRegistry::sum_slot(std::uint32_t slot) const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
@@ -124,6 +147,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       }
     }
   }
+  {
+    std::lock_guard<std::mutex> sketch_lock(sketch_mu_);
+    for (const auto& [name, index] : sketch_names_) {
+      out.sketches[name] = sketch_store_[index].snapshot();
+    }
+  }
   return out;
 }
 
@@ -135,6 +164,8 @@ void MetricsRegistry::reset() {
     }
   }
   for (auto& cell : gauge_cells_) cell.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> sketch_lock(sketch_mu_);
+  for (auto& sketch : sketch_store_) sketch.clear();
 }
 
 }  // namespace spatl::obs

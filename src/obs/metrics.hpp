@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/quantile.hpp"
+
 namespace spatl::obs {
 
 class MetricsRegistry;
@@ -77,6 +79,23 @@ class Histogram {
   const std::vector<double>* bounds_ = nullptr; // registry-owned
 };
 
+/// Named quantile sketch handle (LogBucketSketch, DESIGN.md §10.1).
+/// Unlike counters/histograms, records take a dedicated registry mutex —
+/// sketches serve cold paths only (once-per-round latency totals), where
+/// bounded-relative-error percentiles matter more than lock-freedom.
+class Sketch {
+ public:
+  Sketch() = default;
+  inline void record(double value);
+
+ private:
+  friend class MetricsRegistry;
+  Sketch(MetricsRegistry* registry, std::size_t index)
+      : registry_(registry), index_(index) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::size_t index_ = 0;
+};
+
 struct HistogramSnapshot {
   std::vector<double> bounds;
   std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
@@ -88,6 +107,9 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Quantile sketches (own name plane — a sketch may legitimately shadow
+  /// the fixed-bucket histogram it refines, e.g. "fl.train.round_ms").
+  std::map<std::string, SketchSnapshot> sketches;
 };
 
 class MetricsRegistry {
@@ -101,6 +123,10 @@ class MetricsRegistry {
   Counter counter(const std::string& name);
   Gauge gauge(const std::string& name);
   Histogram histogram(const std::string& name, std::vector<double> bounds);
+  /// Named quantile sketch (separate name plane from the slot-backed
+  /// kinds). Throws std::invalid_argument when the name is already bound
+  /// to a different relative accuracy.
+  Sketch sketch(const std::string& name, double relative_accuracy = 0.01);
 
   /// Merge every thread's shard into one consistent view.
   MetricsSnapshot snapshot() const;
@@ -144,18 +170,32 @@ class MetricsRegistry {
   std::uint32_t allocate_slots(std::size_t n);
   std::uint64_t sum_slot(std::uint32_t slot) const;
 
+  friend class Sketch;
+  void record_sketch(std::size_t index, double value);
+
   mutable std::mutex mu_;
   std::deque<std::unique_ptr<Shard>> shards_;        // guarded by mu_
   std::map<std::string, Entry> entries_;             // guarded by mu_
   std::deque<std::atomic<double>> gauge_cells_;      // stable references
   std::deque<std::vector<double>> histogram_bounds_; // stable references
   std::size_t next_slot_ = 0;                        // guarded by mu_
+
+  // Sketch plane: its own mutex so a (cold-path) record never contends
+  // with registration. Lock order when both are needed: mu_, sketch_mu_.
+  mutable std::mutex sketch_mu_;
+  std::map<std::string, std::size_t> sketch_names_;  // guarded by sketch_mu_
+  std::deque<LogBucketSketch> sketch_store_;         // stable references
 };
 
 inline void Counter::add(std::uint64_t n) {
   if (registry_ == nullptr) return;
   registry_->local_shard().slots[slot_].fetch_add(n,
                                                   std::memory_order_relaxed);
+}
+
+inline void Sketch::record(double value) {
+  if (registry_ == nullptr) return;
+  registry_->record_sketch(index_, value);
 }
 
 inline void Histogram::record(double value) {

@@ -1,0 +1,100 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spatl::obs {
+
+LogBucketSketch::LogBucketSketch(double relative_accuracy)
+    : alpha_(relative_accuracy) {
+  if (!(alpha_ > 0.0) || !(alpha_ < 1.0)) {
+    throw std::invalid_argument(
+        "LogBucketSketch: relative accuracy must lie in (0, 1)");
+  }
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  log_gamma_ = std::log(gamma_);
+}
+
+void LogBucketSketch::record(double value) {
+  if (!std::isfinite(value)) return;  // a NaN latency is a bug upstream
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (value <= kMinTrackable) {
+    ++zero_count_;
+    return;
+  }
+  // Bucket i covers (gamma^(i-1), gamma^i]: ceil puts an exact power on
+  // its own upper boundary, keeping the error bound one-sided per bucket.
+  const auto index =
+      static_cast<std::int32_t>(std::ceil(std::log(value) / log_gamma_));
+  ++buckets_[index];
+}
+
+void LogBucketSketch::merge(const LogBucketSketch& other) {
+  if (alpha_ != other.alpha_) {
+    throw std::invalid_argument(
+        "LogBucketSketch: cannot merge sketches with different accuracies");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
+double LogBucketSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank (0-based) over the deterministic ascending bucket walk.
+  const auto rank = static_cast<std::uint64_t>(q * double(count_ - 1));
+  std::uint64_t cumulative = zero_count_;
+  if (rank < cumulative) return 0.0;
+  for (const auto& [index, n] : buckets_) {
+    cumulative += n;
+    if (rank < cumulative) {
+      const double estimate =
+          2.0 * std::pow(gamma_, double(index)) / (gamma_ + 1.0);
+      return std::clamp(estimate, min_, max_);
+    }
+  }
+  return max_;  // unreachable unless counts drifted; fail safe at the top
+}
+
+SketchSnapshot LogBucketSketch::snapshot() const {
+  SketchSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  s.relative_accuracy = alpha_;
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void LogBucketSketch::clear() {
+  buckets_.clear();
+  zero_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace spatl::obs

@@ -1,0 +1,90 @@
+// Deterministic, mergeable log-bucket quantile sketch (DESIGN.md §10.1).
+//
+// Values are binned into geometrically-spaced buckets: bucket i covers
+// (gamma^(i-1), gamma^i] with gamma = (1 + a) / (1 - a) for a configured
+// relative accuracy a. Reporting the log-midpoint 2·gamma^i / (gamma + 1)
+// of the winning bucket bounds the relative error of every quantile
+// estimate by a — |q_est - q_true| <= a · q_true — independent of the
+// data's scale or distribution (the DDSketch construction). Buckets live
+// in an ordered map keyed by integer index, so memory is O(distinct
+// magnitudes) and every walk is deterministic.
+//
+// Two sketches with the same relative accuracy merge by bucket-wise
+// addition, which makes the summary shard-safe: per-shard sketches can be
+// combined without re-observing a single sample and the merged quantiles
+// carry the same error bound.
+//
+// Zero, negative, and sub-resolution values (< kMinTrackable) share a
+// dedicated zero bucket and report as 0.0; non-finite values are ignored.
+// The sketch is observation-plane only (never feeds back into simulation
+// arithmetic) and is NOT internally synchronized — the MetricsRegistry
+// guards its sketches with a mutex, which is fine for the cold paths
+// (once-per-round latency totals) it serves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace spatl::obs {
+
+/// Point-in-time summary of a sketch: moments plus the standard latency
+/// quantiles, each within `relative_accuracy` of the true order statistic.
+struct SketchSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double relative_accuracy = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class LogBucketSketch {
+ public:
+  /// Values at or below this threshold collapse into the zero bucket.
+  static constexpr double kMinTrackable = 1e-12;
+
+  /// `relative_accuracy` must lie in (0, 1); 0.01 gives ~1% quantile error
+  /// with ~460 buckets per decade-spanning workload.
+  explicit LogBucketSketch(double relative_accuracy = 0.01);
+
+  void record(double value);
+
+  /// Bucket-wise merge; throws std::invalid_argument when the accuracies
+  /// differ (the bucket geometries would not line up).
+  void merge(const LogBucketSketch& other);
+
+  /// q-quantile estimate (q clamped to [0, 1]); 0.0 on an empty sketch.
+  /// Uses the nearest-rank order statistic over the bucket walk, clamped
+  /// into [min, max] so an estimate can never leave the observed range.
+  double quantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double relative_accuracy() const { return alpha_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  SketchSnapshot snapshot() const;
+
+  /// Forget every observation; geometry (accuracy) is retained.
+  void clear();
+
+ private:
+  double alpha_;      // configured relative accuracy
+  double gamma_;      // bucket growth factor (1 + a) / (1 - a)
+  double log_gamma_;  // cached log(gamma)
+
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace spatl::obs

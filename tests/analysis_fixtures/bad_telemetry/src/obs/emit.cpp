@@ -1,0 +1,19 @@
+// Known-bad fixture: a telemetry record whose "type" tag is a typo, plus
+// sites the rule must NOT fire on (known tag, non-literal value, a lookup
+// rather than an add).
+namespace spatl::obs {
+
+struct Rec {
+  Rec& add(const char*, const char*) { return *this; }
+  const char* str(const char*) { return ""; }
+};
+
+void emit_records(Rec& rec, const char* dynamic_type) {
+  rec.add("type", "fligth");     // typo — must be flagged
+  rec.add("type", "recovery");   // known tag — clean
+  rec.add("type", dynamic_type); // non-literal value — out of reach
+  rec.add("trigger", "whatever");
+  rec.str("type");
+}
+
+}  // namespace spatl::obs

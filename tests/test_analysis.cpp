@@ -173,6 +173,35 @@ TEST(Fixtures, LegacyFixtureFlagsBannedRandom) {
   EXPECT_EQ(counts, expected);
 }
 
+TEST(Fixtures, TelemetryFixtureFlagsExactlyTheTypoedRecordType) {
+  const Report report = analyze_fixture("bad_telemetry");
+  const auto counts = counts_by_rule(report);
+  const std::map<std::string, std::size_t> expected = {
+      {"telemetry-record-type", 1}};
+  EXPECT_EQ(counts, expected);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("\"fligth\""), std::string::npos)
+      << report.findings[0].message;
+}
+
+// The same add("type", ...) site under tests/ is exempt: suites feed the
+// exporters synthetic record types on purpose.
+TEST(Fixtures, TelemetryRuleSkipsTestTrees) {
+  const fs::path scratch =
+      fs::path(::testing::TempDir()) / "spatl_telemetry_scope";
+  fs::remove_all(scratch);
+  const std::string body =
+      "struct R { R& add(const char*, const char*) { return *this; } };\n"
+      "void f(R& r) { r.add(\"type\", \"probe\"); }\n";
+  spit(scratch / "tests/test_probe.cpp", body);
+  spit(scratch / "src/obs/probe.cpp", body);
+  const Report report = analyze(load_project(scratch.string()));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "telemetry-record-type");
+  EXPECT_EQ(report.findings[0].file, "src/obs/probe.cpp");
+  fs::remove_all(scratch);
+}
+
 // --- checkpoint drift drill ------------------------------------------------
 
 // The acceptance drill: take the CLEAN fixture, add one state field to its

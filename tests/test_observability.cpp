@@ -7,8 +7,10 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,10 +19,14 @@
 #include "common/thread_pool.hpp"
 #include "data/synthetic.hpp"
 #include "fl/algorithm.hpp"
+#include "fl/comm.hpp"
 #include "fl/runner.hpp"
 #include "nn/module.hpp"
+#include "obs/alert.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quantile.hpp"
 #include "obs/trace.hpp"
 
 namespace spatl {
@@ -478,6 +484,233 @@ TEST(Telemetry, TelemetryEveryStrideStillEmitsFinalRound) {
   EXPECT_NE(lines.back().find("\"round\":5"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// json_escape known answers (the control-character path in particular)
+
+TEST(Exporters, JsonEscapeControlCharacterKnownAnswers) {
+  EXPECT_EQ(obs::json_escape("plain ascii"), "plain ascii");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  // The three named short escapes...
+  EXPECT_EQ(obs::json_escape("\n\r\t"), "\\n\\r\\t");
+  // ...and every other control character as \u00XX.
+  EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(obs::json_escape(std::string("\x08", 1)), "\\u0008");
+  EXPECT_EQ(obs::json_escape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(obs::json_escape(std::string("a\0b", 3)), "a\\u0000b");
+  // 0x20 (space) is the first character that passes through untouched.
+  EXPECT_EQ(obs::json_escape(" ~"), " ~");
+  // An escaped payload embedded in a record stays machine-loadable.
+  obs::JsonObject rec;
+  rec.add("msg", std::string("bad\x02 value\n"));
+  EXPECT_TRUE(JsonChecker::valid(rec.str())) << rec.str();
+  EXPECT_NE(rec.str().find("\\u0002"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries in the exported snapshot
+
+TEST(Exporters, HistogramBucketBoundsRideTheSnapshot) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.reset();
+  auto h = registry.histogram("test.bounds_ms", {1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket 0: <= 1
+  h.record(5.0);    // bucket 1: (1, 10]
+  h.record(50.0);   // bucket 2: (10, 100]
+  h.record(500.0);  // overflow bucket
+  const std::string text =
+      obs::metrics_object(registry.snapshot()).str();
+  EXPECT_TRUE(JsonChecker::valid(text)) << text;
+  // The bounds array makes bucket counts self-describing: a consumer can
+  // reconstruct "1 sample <= 1ms, 1 in (1,10], ..." from the record alone.
+  EXPECT_NE(text.find("\"test.bounds_ms\":{\"bounds\":[1,10,100],"
+                      "\"buckets\":[1,1,1,1]"),
+            std::string::npos)
+      << text;
+  registry.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Log-bucket quantile sketch
+
+TEST(QuantileSketch, QuantilesStayWithinTheRelativeErrorBound) {
+  obs::LogBucketSketch s(0.01);
+  for (int i = 1; i <= 1000; ++i) s.record(double(i));
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+  // Nearest rank over 1..1000: quantile q lands on value q*999 + 1.
+  EXPECT_NEAR(s.quantile(0.50), 500.0, 500.0 * 0.01 + 1e-9);
+  EXPECT_NEAR(s.quantile(0.90), 900.0, 900.0 * 0.01 + 1e-9);
+  EXPECT_NEAR(s.quantile(0.95), 950.0, 950.0 * 0.01 + 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), 991.0, 991.0 * 0.01 + 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 1000.0, 1000.0 * 0.01 + 1e-9);
+  // Bounded memory: 1000 distinct values collapse into O(log range / α)
+  // buckets, far fewer than one per sample.
+  EXPECT_LT(s.bucket_count(), 400u);
+}
+
+TEST(QuantileSketch, MergeEqualsRecordingTheUnion) {
+  obs::LogBucketSketch evens(0.02), odds(0.02), all(0.02);
+  for (int i = 1; i <= 500; ++i) {
+    (i % 2 == 0 ? evens : odds).record(double(i));
+    all.record(double(i));
+  }
+  evens.merge(odds);
+  EXPECT_EQ(evens.count(), all.count());
+  EXPECT_DOUBLE_EQ(evens.sum(), all.sum());
+  // Same buckets, same counts → identical estimates, not just close ones.
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(evens.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, RejectsBadAccuracyAndMismatchedMerge) {
+  EXPECT_THROW(obs::LogBucketSketch(0.0), std::invalid_argument);
+  EXPECT_THROW(obs::LogBucketSketch(1.0), std::invalid_argument);
+  obs::LogBucketSketch a(0.01), b(0.02);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, IgnoresNonFiniteAndTracksZeroes) {
+  obs::LogBucketSketch s;
+  s.record(std::nan(""));
+  s.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.count(), 0u);
+  s.record(0.0);
+  s.record(0.0);
+  s.record(8.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_NEAR(s.quantile(1.0), 8.0, 8.0 * 0.01 + 1e-9);
+  const obs::SketchSnapshot snap = s.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 8.0);
+  EXPECT_DOUBLE_EQ(snap.relative_accuracy, 0.01);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, SketchPlaneRegistersExportsAndResets) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.reset();
+  auto sk = registry.sketch("test.sketch_ms");
+  for (int i = 1; i <= 100; ++i) sk.record(double(i));
+  // Re-registration under the same accuracy returns the same sketch...
+  registry.sketch("test.sketch_ms").record(200.0);
+  obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.sketches.count("test.sketch_ms"), 1u);
+  EXPECT_EQ(snap.sketches["test.sketch_ms"].count, 101u);
+  EXPECT_NEAR(snap.sketches["test.sketch_ms"].p50, 51.0, 51.0 * 0.011);
+  // ...while an accuracy mismatch is a registration bug, loudly rejected.
+  EXPECT_THROW(registry.sketch("test.sketch_ms", 0.05),
+               std::invalid_argument);
+  registry.reset();
+  snap = registry.snapshot();
+  ASSERT_EQ(snap.sketches.count("test.sketch_ms"), 1u);
+  EXPECT_EQ(snap.sketches["test.sketch_ms"].count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorder, RingKeepsLastNAndDumpsValidJson) {
+  const std::string path = temp_path("test_obs_flight_ring.jsonl");
+  {
+    obs::JsonlWriter sink(path);
+    obs::FlightRecorder flight(&sink, 3);
+    for (std::uint64_t r = 1; r <= 5; ++r) {
+      flight.record_round(
+          r, obs::JsonObject().add("round", r).add("ok", true).str());
+    }
+    EXPECT_EQ(flight.window_size(), 3u);
+    EXPECT_EQ(flight.rounds_seen(), 5u);
+    EXPECT_EQ(flight.rounds_dropped(), 2u);
+    flight.dump("unit_probe", 5);
+    EXPECT_EQ(flight.dumps(), 1u);
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& rec = lines[0];
+  EXPECT_TRUE(JsonChecker::valid(rec)) << rec;
+  EXPECT_NE(rec.find("\"type\":\"flight\""), std::string::npos);
+  EXPECT_NE(rec.find("\"trigger\":\"unit_probe\""), std::string::npos);
+  EXPECT_NE(rec.find("\"first_round\":3"), std::string::npos);
+  EXPECT_NE(rec.find("\"last_round\":5"), std::string::npos);
+  // The dropped rounds are really gone from the embedded window.
+  EXPECT_EQ(rec.find("{\"round\":2,"), std::string::npos);
+  EXPECT_NE(rec.find("{\"round\":4,"), std::string::npos);
+}
+
+TEST(FlightRecorder, NullSinkCountsDumpsWithoutWriting) {
+  obs::FlightRecorder flight(nullptr, 4);
+  flight.record_round(1, "{}");
+  flight.dump("unit_probe", 1);
+  flight.dump("unit_probe", 1);
+  EXPECT_EQ(flight.dumps(), 2u);
+  EXPECT_EQ(flight.window_size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Alert edge-trigger semantics under checkpoint replay
+
+TEST(Alerts, EdgeTriggerReArmsAcrossCheckpointReplay) {
+  const std::string path = temp_path("test_obs_alert_rearm.jsonl");
+  obs::JsonlWriter sink(path);
+  obs::AlertWatcher watcher(&sink);
+  watcher.add_rule({"rej_high", "fl.reject_rate", 0.5, /*above=*/true});
+  watcher.observe("fl.reject_rate", 0.2, 1);  // good side
+  watcher.observe("fl.reject_rate", 0.8, 2);  // crossing → fires
+  watcher.observe("fl.reject_rate", 0.9, 3);  // sustained breach: silent
+  EXPECT_EQ(watcher.alerts_emitted(), 1u);
+  // Crash rollback: the runner restores round 1 and replays. The replayed
+  // good-side observation must re-arm the rule so the repeated breach
+  // alerts again instead of staying latched from before the rollback.
+  watcher.observe("fl.reject_rate", 0.2, 1);
+  watcher.observe("fl.reject_rate", 0.8, 2);
+  EXPECT_EQ(watcher.alerts_emitted(), 2u);
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonChecker::valid(line)) << line;
+    EXPECT_NE(line.find("\"type\":\"alert\""), std::string::npos);
+    EXPECT_NE(line.find("\"rule\":\"rej_high\""), std::string::npos);
+    EXPECT_NE(line.find("\"round\":2"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Communication snapshot deltas
+
+TEST(Comm, SinceReportsDeltasAndSurvivesLedgerReset) {
+  fl::CommLedger ledger;
+  ledger.add_uplink_floats(100);  // 400 bytes
+  const fl::CommSnapshot before = ledger.snapshot();
+  ledger.add_downlink_bytes(1000.0);
+  ledger.add_uplink_retransmit_bytes(50.0);
+  fl::CommSnapshot delta = ledger.snapshot().since(before);
+  EXPECT_DOUBLE_EQ(delta.uplink, 50.0);
+  EXPECT_DOUBLE_EQ(delta.downlink, 1000.0);
+  EXPECT_DOUBLE_EQ(delta.retransmitted, 50.0);
+  // A reset (or restore to an older snapshot) between observations makes
+  // the later totals smaller than `before`: since() then reports the flow
+  // since that reset — never a negative delta.
+  ledger.reset();
+  ledger.add_uplink_floats(10);  // 40 bytes since the reset
+  delta = ledger.snapshot().since(before);
+  EXPECT_DOUBLE_EQ(delta.uplink, 40.0);
+  EXPECT_DOUBLE_EQ(delta.downlink, 0.0);
+  EXPECT_DOUBLE_EQ(delta.retransmitted, 0.0);
+  EXPECT_DOUBLE_EQ(delta.total(), 40.0);
+  // Restore semantics: counters continue from the restored totals.
+  ledger.restore(before);
+  ledger.add_downlink_bytes(8.0);
+  delta = ledger.snapshot().since(before);
+  EXPECT_DOUBLE_EQ(delta.uplink, 0.0);
+  EXPECT_DOUBLE_EQ(delta.downlink, 8.0);
+}
+
 // The load-bearing invariant: telemetry + tracing observe the run, they
 // never participate in it. Global parameters must match bit for bit.
 TEST(Telemetry, EnabledTelemetryIsBitIdenticalToDisabled) {
@@ -505,6 +738,54 @@ TEST(Telemetry, EnabledTelemetryIsBitIdenticalToDisabled) {
                         baseline.size() * sizeof(float)),
             0)
       << "telemetry changed the simulation";
+}
+
+// Same contract for the flight recorder: a run with the ring attached (and
+// dumping during a crash drill) must finish with bit-identical parameters
+// to the same run without it.
+TEST(Telemetry, FlightRecorderOffSwitchIsBitIdentical) {
+  fl::RunOptions opts;
+  opts.rounds = 4;
+  opts.eval_every = 2;
+  opts.checkpoint_every = 1;
+  opts.crash_at_rounds = {2};
+
+  std::vector<float> baseline;
+  run_fed(opts, &baseline);
+
+  const std::string path = temp_path("test_obs_flight_run.jsonl");
+  std::vector<float> flown;
+  {
+    obs::JsonlWriter telemetry(path);
+    obs::FlightRecorder flight(&telemetry, 2);
+    fl::RunOptions opts_f = opts;
+    opts_f.telemetry = &telemetry;
+    // Stride past every round: the ring must still capture each one, so
+    // the dump carries rounds the JSONL stream itself skipped.
+    opts_f.telemetry_every = 100;
+    opts_f.flight = &flight;
+    run_fed(opts_f, &flown);
+    EXPECT_EQ(flight.dumps(), 1u);
+  }
+
+  ASSERT_EQ(baseline.size(), flown.size());
+  EXPECT_EQ(std::memcmp(baseline.data(), flown.data(),
+                        baseline.size() * sizeof(float)),
+            0)
+      << "flight recorder changed the simulation";
+
+  bool found_flight = false;
+  for (const std::string& line : read_lines(path)) {
+    if (line.find("\"type\":\"flight\"") == std::string::npos) continue;
+    found_flight = true;
+    EXPECT_TRUE(JsonChecker::valid(line)) << line;
+    EXPECT_NE(line.find("\"trigger\":\"crash_drill\""), std::string::npos);
+    // Rounds 1 and 2 never produced telemetry lines (stride 100), yet the
+    // window preserved their rendered records for the incident dump.
+    EXPECT_NE(line.find("\"first_round\":1"), std::string::npos);
+    EXPECT_NE(line.find("\"last_round\":2"), std::string::npos);
+  }
+  EXPECT_TRUE(found_flight);
 }
 
 }  // namespace

@@ -128,6 +128,60 @@ void check_async_wallclock(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+void check_telemetry_record_type(const SourceFile& f,
+                                 std::vector<Finding>* out) {
+  // Every JSONL record the product emits starts with add("type", "<tag>");
+  // downstream consumers (spatl_report, the JsonChecker suites) key on the
+  // closed tag set, so an unknown literal here is schema drift at the
+  // source. Tests are exempt — they feed exporters synthetic types on
+  // purpose ("probe").
+  if (f.rel.rfind("src/", 0) != 0 && f.rel.rfind("tools/", 0) != 0 &&
+      f.rel.rfind("bench/", 0) != 0) {
+    return;
+  }
+  static const std::set<std::string> kRecordTypes = {
+      "round", "metrics", "alert", "crash", "recovery", "flight"};
+  const auto& lits = f.text.strings;
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].text != "type") continue;
+    // The key literal must be the first argument of an add( call. The code
+    // channel keeps the quotes, so the opening quote sits at lits[i].pos.
+    std::size_t q = lits[i].pos;
+    while (q > 0 &&
+           std::isspace(static_cast<unsigned char>(f.text.code[q - 1]))) {
+      --q;
+    }
+    if (q < 4 || f.text.code.compare(q - 4, 4, "add(") != 0 ||
+        !token_at(f.text.code, q - 4, "add(")) {
+      continue;
+    }
+    // Between the key and the value: closing quote, comma, opening quote of
+    // the very next literal. Anything else (a variable, an expression) is
+    // outside this rule's reach.
+    std::size_t r = f.text.code.find('"', lits[i].pos + 1);
+    if (r == std::string::npos) continue;
+    ++r;
+    while (r < f.text.code.size() &&
+           std::isspace(static_cast<unsigned char>(f.text.code[r]))) {
+      ++r;
+    }
+    if (r >= f.text.code.size() || f.text.code[r] != ',') continue;
+    ++r;
+    while (r < f.text.code.size() &&
+           std::isspace(static_cast<unsigned char>(f.text.code[r]))) {
+      ++r;
+    }
+    if (r != lits[i + 1].pos) continue;  // value is not a string literal
+    if (kRecordTypes.count(lits[i + 1].text) == 0) {
+      emit(f, out, "telemetry-record-type", lits[i + 1].pos,
+           "unknown telemetry record type \"" + lits[i + 1].text +
+               "\" — the JSONL schema covers round/metrics/alert/crash/"
+               "recovery/flight; extend the set (and spatl_report) "
+               "deliberately, not by typo");
+    }
+  }
+}
+
 void check_store_bypass(const SourceFile& f, std::vector<Finding>* out) {
   if (f.rel.rfind("src/fl/", 0) != 0) return;
   if (f.rel.rfind("src/fl/store/", 0) == 0) return;  // the sanctioned layer
@@ -155,6 +209,7 @@ void run_legacy_rules(const Project& project, std::vector<Finding>* out) {
     check_raw_thread(f, out);
     check_raw_stderr(f, out);
     check_async_wallclock(f, out);
+    check_telemetry_record_type(f, out);
     check_store_bypass(f, out);
   }
 }

@@ -1,0 +1,350 @@
+#include "report/json.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+namespace spatl::report {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::num(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kNumber) ? v->number : fallback;
+}
+
+std::uint64_t JsonValue::u64(const std::string& key,
+                             std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->kind != Kind::kNumber || v->number < 0.0) {
+    return fallback;
+  }
+  return std::uint64_t(v->number);
+}
+
+std::string JsonValue::str(const std::string& key,
+                           const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->string : fallback;
+}
+
+bool JsonValue::flag(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kBool) ? v->boolean : fallback;
+}
+
+namespace {
+
+// Hand-rolled cursor parser. Depth is bounded to keep a pathological
+// (or hostile) input from overflowing the stack via recursion.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err)
+      : text_(text), err_(err) {}
+
+  bool parse_document(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (err_ != nullptr) {
+      *err_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return literal("null", 4);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return literal("false", 5);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->string);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(unsigned(text_[pos_]))) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    while (pos_ < text_.size() && std::isdigit(unsigned(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(unsigned(text_[pos_]))) {
+        return fail("invalid fraction");
+      }
+      while (pos_ < text_.size() && std::isdigit(unsigned(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(unsigned(text_[pos_]))) {
+        return fail("invalid exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(unsigned(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.c_str() + start, nullptr);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        switch (text_[pos_]) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (!parse_unicode_escape(out)) return false;
+            continue;  // parse_unicode_escape advanced past the digits
+          }
+          default:
+            return fail("invalid escape");
+        }
+        ++pos_;
+        continue;
+      }
+      if (unsigned(c) < 0x20) return fail("raw control character in string");
+      out->push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool hex4(std::uint32_t* out) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= std::uint32_t(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= std::uint32_t(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= std::uint32_t(c - 'A' + 10);
+      } else {
+        return fail("invalid hex digit in \\u escape");
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  // Decodes \uXXXX (and surrogate pairs) to UTF-8. json_escape only emits
+  // \u00XX for control characters, but a fully-decoding reader keeps the
+  // round-trip property for any valid writer.
+  bool parse_unicode_escape(std::string* out) {
+    ++pos_;  // past 'u'
+    std::uint32_t cp = 0;
+    if (!hex4(&cp)) return false;
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (text_.compare(pos_, 2, "\\u") != 0) {
+        return fail("unpaired high surrogate");
+      }
+      pos_ += 2;
+      std::uint32_t low = 0;
+      if (!hex4(&low)) return false;
+      if (low < 0xDC00 || low > 0xDFFF) {
+        return fail("invalid low surrogate");
+      }
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      return fail("unpaired low surrogate");
+    }
+    if (cp < 0x80) {
+      out->push_back(char(cp));
+    } else if (cp < 0x800) {
+      out->push_back(char(0xC0 | (cp >> 6)));
+      out->push_back(char(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(char(0xE0 | (cp >> 12)));
+      out->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(char(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(char(0xF0 | (cp >> 18)));
+      out->push_back(char(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(char(0x80 | (cp & 0x3F)));
+    }
+    return true;
+  }
+
+  bool parse_array(JsonValue* out, std::size_t depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(&item, depth + 1)) return false;
+      out->items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue* out, std::size_t depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue* out, std::string* err) {
+  Parser p(text, err);
+  return p.parse_document(out);
+}
+
+bool parse_jsonl(const std::string& text, std::vector<JsonValue>* out,
+                 std::string* err) {
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    ++line_no;
+    std::string line = text.substr(pos, end - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = end + 1;
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    JsonValue value;
+    std::string line_err;
+    if (!parse_json(line, &value, &line_err)) {
+      if (err != nullptr) {
+        *err = "line " + std::to_string(line_no) + ": " + line_err;
+      }
+      return false;
+    }
+    out->push_back(std::move(value));
+  }
+  return true;
+}
+
+}  // namespace spatl::report

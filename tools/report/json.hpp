@@ -1,0 +1,61 @@
+// Minimal recursive-descent JSON reader for the offline report tool.
+//
+// The telemetry pipeline only ever *writes* JSON (obs::JsonObject renders
+// records with %.17g doubles and insertion-ordered keys); spatl_report is
+// the first consumer that has to read those bytes back. The reader mirrors
+// the writer's constraints: objects preserve key order, numbers are plain
+// doubles, and anything the writer cannot produce (comments, trailing
+// commas, unpaired surrogates) is a hard parse error rather than a
+// best-effort guess — a malformed line in a telemetry stream is a bug we
+// want surfaced, not smoothed over.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spatl::report {
+
+/// One parsed JSON value. A tagged union over the six JSON kinds; object
+/// members keep file order so reports derived from them are byte-stable.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                               // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;     // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup by key; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Typed member getters with fallbacks — the record schemas are
+  /// feature-gated, so most fields are optional by design.
+  double num(const std::string& key, double fallback = 0.0) const;
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback = 0) const;
+  std::string str(const std::string& key,
+                  const std::string& fallback = "") const;
+  bool flag(const std::string& key, bool fallback = false) const;
+};
+
+/// Parse one complete JSON document. Returns false (with a
+/// position-bearing message in `err`) on malformed input or trailing
+/// garbage after the document.
+bool parse_json(const std::string& text, JsonValue* out, std::string* err);
+
+/// Parse a JSONL stream: one document per non-empty line. Stops at the
+/// first malformed line and reports its 1-based line number in `err`.
+bool parse_jsonl(const std::string& text, std::vector<JsonValue>* out,
+                 std::string* err);
+
+}  // namespace spatl::report

@@ -34,6 +34,7 @@
 #include "fl/server_opt.hpp"
 #include "models/checkpoint.hpp"
 #include "obs/alert.hpp"
+#include "obs/flight.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -88,7 +89,7 @@ int usage() {
                "           [--fault-aware-sampling] [--fault-ema-decay F]\n"
                "           telemetry (observation only):\n"
                "           [--metrics-out FILE.jsonl] [--telemetry-every N]\n"
-               "           [--trace-out FILE.json]\n"
+               "           [--trace-out FILE.json] [--flight-window N]\n"
                "  evaluate --ckpt FILE --arch ARCH [--input PX] [--width F]\n"
                "  prune    --arch ARCH --budget F [--rl-rounds N]\n"
                "  info     --arch ARCH [--input PX] [--width F]\n");
@@ -339,6 +340,19 @@ int cmd_train(const common::Flags& flags) {
   }
   if (alerts.rule_count() > 0) ro.alerts = &alerts;
 
+  // Flight recorder: ring of the last N rendered round records, dumped
+  // into the telemetry stream as one "flight" record when a divergence
+  // rollback, crash drill, or recovery-ladder exhaustion fires — the
+  // rounds leading up to the incident, captured even when
+  // --telemetry-every strides past them.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (flags.has("flight-window")) {
+    flight = std::make_unique<obs::FlightRecorder>(
+        telemetry.get(),
+        std::size_t(std::max(1, int(flags.get_int("flight-window", 16)))));
+    ro.flight = flight.get();
+  }
+
   const auto result = fl::run_federated(
       *algorithm, ro, [&](std::size_t round, const fl::RoundRecord& rec) {
         std::printf("round %3zu  acc %5.1f%%  loss %.3f  comm %s\n", round,
@@ -412,6 +426,10 @@ int cmd_train(const common::Flags& flags) {
   }
   if (ro.alerts != nullptr) {
     std::printf("alerts: %zu emitted\n", alerts.alerts_emitted());
+  }
+  if (flight != nullptr) {
+    std::printf("flight recorder: %zu dump(s), window %zu of %zu rounds\n",
+                flight->dumps(), flight->window_size(), flight->rounds_seen());
   }
   if (result.checkpoints_written > 0) {
     std::printf("checkpoints: %zu written%s%s\n", result.checkpoints_written,

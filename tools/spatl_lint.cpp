@@ -5,7 +5,8 @@
 //
 //   legacy    the per-file determinism/resource rules: banned-random,
 //             chrono-now, fl-unordered, naked-new, pragma-once, raw-thread,
-//             raw-stderr, async-wallclock, store-bypass
+//             raw-stderr, async-wallclock, telemetry-record-type,
+//             store-bypass
 //   include   include-graph layering (include-layer, include-cycle)
 //   ckpt      checkpoint-coverage audit of // ckpt: annotations vs pack /
 //             unpack sites (ckpt-unannotated-field, ckpt-missing-pack,
