@@ -6,6 +6,12 @@
 // against the checked-in baseline (bench/baselines/BENCH_PERF.baseline.json).
 //
 //   bench_perf [--out FILE] [--smoke] [--handicap kernel=factor]
+//              [--backend scalar|cpu-simd|auto]
+//
+// --backend pins the tensor ComputeContext for the whole sweep and stamps
+// the resolved name into the JSON, so the perf gate can refuse to compare a
+// run against the wrong backend's baseline (bench/baselines/ keeps one file
+// per backend).
 //
 // Kernels: the GEMM and im2col+GEMM convolution that dominate training
 // compute, the coordinate-median and Krum robust aggregation paths, the
@@ -42,6 +48,7 @@
 #include "fl/store/store.hpp"
 #include "nn/conv.hpp"
 #include "obs/export.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
@@ -95,16 +102,27 @@ std::vector<spatl::fl::RobustUpdate> make_updates(
 int main(int argc, char** argv) {
   spatl::common::Flags flags(argc, argv, 1);
   try {
-    flags.check_known({"out", "smoke", "handicap"});
+    flags.check_known({"out", "smoke", "handicap", "backend"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_perf: %s\n", e.what());
     std::fprintf(stderr,
                  "usage: bench_perf [--out FILE] [--smoke] "
-                 "[--handicap kernel=factor]\n");
+                 "[--handicap kernel=factor] "
+                 "[--backend scalar|cpu-simd|auto]\n");
     return 2;
   }
   const bool smoke = flags.get_bool("smoke", false);
   const std::string out_path = flags.get("out", "BENCH_PERF.json");
+
+  try {
+    const std::string backend = flags.get("backend", "");
+    if (!backend.empty()) {
+      spatl::tensor::set_active_backend(spatl::tensor::parse_backend(backend));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_perf: %s\n", e.what());
+    return 2;
+  }
 
   // One optional post-measurement handicap, "kernel=factor".
   std::string handicap_kernel;
@@ -248,6 +266,8 @@ int main(int argc, char** argv) {
   spatl::obs::JsonObject doc;
   doc.add("schema", "spatl-bench-perf-v1")
       .add("mode", smoke ? "smoke" : "full")
+      .add("backend",
+           spatl::tensor::backend_name(spatl::tensor::active_backend()))
       .add_raw("kernels", kernels.str());
 
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);

@@ -40,13 +40,17 @@
 #
 #   scripts/check.sh --perf [build-dir]    perf tier: Release build of the
 #       bench_perf kernel microbenches (GEMM, conv, robust aggregation,
-#       checkpoint packing, store commit), min-of-N timings written to
-#       <build-dir>/BENCH_PERF.json and gated by scripts/perf_gate.py
-#       against bench/baselines/BENCH_PERF.baseline.json. Machine-dependent
-#       by nature, so it is NOT part of --all; tolerances in the baseline
-#       are sized for laptop-class variance. Refresh the baseline by
-#       copying a clean BENCH_PERF.json over it on a quiet machine.
-#       Default: build.
+#       checkpoint packing, store commit), run once per compute backend
+#       (scalar and, where the CPU supports it, cpu-simd) with min-of-N
+#       timings written to <build-dir>/BENCH_PERF.<backend>.json and gated
+#       by scripts/perf_gate.py against the matching
+#       bench/baselines/BENCH_PERF.<backend>.baseline.json; then the
+#       bench_kernels backend x shape sweep enforcing the SIMD conv forward
+#       speedup floor. Machine-dependent by nature, so it is NOT part of
+#       --all; tolerances in the baselines are sized for laptop-class
+#       variance. Refresh a baseline by copying a clean
+#       BENCH_PERF.<backend>.json over it on a quiet machine. Default:
+#       build.
 #
 #   scripts/check.sh --all                 every tier in sequence — the
 #       pre-merge gate (coverage and perf excluded: advisory/machine-
@@ -188,12 +192,31 @@ run_coverage() {
 run_perf() {
   local dir="${1:-build}"
   cmake -B "$dir" -S . -DSPATL_WERROR=ON
-  cmake --build "$dir" -j "$NPROC" --target bench_perf
-  # Full min-of-N sweep (a smoke run makes no wall-time claim and would be
-  # rejected by the gate).
-  "$dir"/bench/bench_perf --out "$dir"/BENCH_PERF.json
-  python3 scripts/perf_gate.py "$dir"/BENCH_PERF.json \
-    bench/baselines/BENCH_PERF.baseline.json
+  cmake --build "$dir" -j "$NPROC" --target bench_perf bench_kernels
+  # Full min-of-N sweep per compute backend (a smoke run makes no wall-time
+  # claim and would be rejected by the gate). Each backend gates against its
+  # own baseline: scalar and cpu-simd timings differ by design, and
+  # perf_gate.py refuses a backend-mismatched comparison.
+  local backend
+  for backend in scalar cpu-simd; do
+    "$dir"/bench/bench_perf --backend "$backend" \
+      --out "$dir"/BENCH_PERF."$backend".json
+    # On hardware without AVX2/FMA the cpu-simd request falls back to the
+    # scalar context and stamps "scalar" into the JSON; skip the gate there
+    # rather than comparing scalar timings against the SIMD baseline.
+    if [ "$backend" = "cpu-simd" ] && \
+       ! grep -q '"backend": *"cpu-simd"' "$dir"/BENCH_PERF."$backend".json
+    then
+      echo "perf: cpu-simd unsupported on this CPU; gate skipped"
+      continue
+    fi
+    python3 scripts/perf_gate.py "$dir"/BENCH_PERF."$backend".json \
+      bench/baselines/BENCH_PERF."$backend".baseline.json
+  done
+  # Backend x shape sweep with the SIMD conv acceptance floor (self-skips
+  # on hardware without AVX2/FMA).
+  "$dir"/bench/bench_kernels --min-conv-speedup 4 \
+    --out "$dir"/BENCH_KERNELS.csv
   echo "perf check passed"
 }
 

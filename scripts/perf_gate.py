@@ -3,7 +3,9 @@
 
     python3 scripts/perf_gate.py <current.json> <baseline.json>
 
-Both files are "spatl-bench-perf-v1" documents. The baseline additionally
+Both files are "spatl-bench-perf-v1" documents and must agree on their
+"backend" stamp (timings are only comparable within one compute backend;
+documents without the field default to "scalar"). The baseline additionally
 carries tolerances: `tolerance_default` (fractional headroom applied to
 every kernel) and per-kernel overrides under `tolerances` for kernels with
 inherently noisier timings (disk-bound store commits, for example).
@@ -46,6 +48,15 @@ def main(argv):
     if current.get("mode") != "full":
         print("perf_gate: current run is not a full sweep (smoke mode makes "
               "no wall-time claims)", file=sys.stderr)
+        return 2
+    # Timings are only comparable within one compute backend; a scalar run
+    # must never be judged against the cpu-simd baseline or vice versa.
+    # Pre-backend documents carry no field and default to scalar.
+    cur_backend = current.get("backend", "scalar")
+    base_backend = baseline.get("backend", "scalar")
+    if cur_backend != base_backend:
+        print(f"perf_gate: backend mismatch — current run is '{cur_backend}' "
+              f"but baseline is '{base_backend}'", file=sys.stderr)
         return 2
     handicapped = [
         name for name, k in current.get("kernels", {}).items()

@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "obs/alert.hpp"
+#include "tensor/backend.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -121,6 +122,12 @@ std::vector<std::size_t> weighted_sample_without_replacement(
 RunResult run_federated(FederatedAlgorithm& algo, const RunOptions& opts,
                         const RoundCallback& callback) {
   RunResult result;
+  // Pin the compute backend before any kernel runs: every GEMM in the round
+  // loop (client training, evaluation, the divergence guard's probe pass)
+  // must execute on one backend for the run to be bit-replayable.
+  if (!opts.backend.empty()) {
+    tensor::set_active_backend(tensor::parse_backend(opts.backend));
+  }
   common::Rng sampler(opts.sampling_seed);
   const std::size_t num_clients = algo.environment().num_clients();
   result.client_giveups.assign(num_clients, 0);

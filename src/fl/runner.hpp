@@ -76,6 +76,15 @@ struct RunOptions {
   std::size_t rounds = 50;
   double sample_ratio = 1.0;   // fraction of clients participating per round
   std::size_t eval_every = 1;
+
+  /// Compute backend for the GEMM family ("scalar" | "cpu-simd" | "auto",
+  /// see tensor/backend.hpp). Applied process-wide via set_active_backend()
+  /// before round 1. Empty = leave the ambient backend untouched (the
+  /// SPATL_BACKEND environment default, or whatever the caller selected).
+  /// Per backend, runs are bit-identical across thread counts; switching
+  /// backend changes float rounding within the documented ulp bound
+  /// (tensor/ops.hpp), so seeded replays must pin the same backend.
+  std::string backend;
   /// Stop early once average accuracy reaches this value (Table I setting).
   std::optional<double> target_accuracy;
   std::uint64_t sampling_seed = 7;

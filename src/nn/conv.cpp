@@ -1,5 +1,6 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -91,15 +92,28 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
                                     kernel_,      stride_,      pad_};
   tensor::im2col(input, cached_geom_, cached_cols_);
   Tensor rows;
+  // The heavy lifting is one GEMM; it dispatches through the active compute
+  // backend (tensor/backend.hpp). Everything around it — im2col, the bias
+  // add, the layout shuffle — is pure data movement plus independent
+  // per-element adds, so it is backend-agnostic and bit-stable.
   tensor::matmul_nt(cached_cols_, w_, rows);  // (rows, out)
   if (has_bias_) {
     float* p = rows.data();
     const std::size_t nrows = rows.dim(0);
-    for (std::size_t r = 0; r < nrows; ++r) {
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        p[r * out_channels_ + c] += b_[c];
-      }
-    }
+    const std::size_t oc = out_channels_;
+    const float* bias = b_.data();
+    // Each output row is touched by exactly one chunk, and each element
+    // receives a single add, so the result is bitwise independent of the
+    // chunking (no reduction crosses a row).
+    common::parallel_for_ranges(
+        0, nrows,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t r = lo; r < hi; ++r) {
+            float* row = p + r * oc;
+            for (std::size_t c = 0; c < oc; ++c) row[c] += bias[c];
+          }
+        },
+        /*grain=*/std::max<std::size_t>(1, 4096 / std::max<std::size_t>(1, oc)));
   }
   Tensor out;
   rows_to_nchw(rows, cached_batch_, out_channels_, cached_geom_.out_h(),

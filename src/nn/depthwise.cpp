@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "tensor/ops.hpp"
 
 namespace spatl::nn {
 
@@ -82,15 +83,23 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
       [&](std::size_t c) {
         const float* filt = w_.data() + c * kernel_ * kernel_;
         float* gfilt = gw_.data() + c * kernel_ * kernel_;
+        // The gv == 0 skip below elides both gv * src (filter grad) and
+        // gv * filt (input grad) terms, so it is only IEEE-safe when this
+        // channel's filter and the image plane are finite — otherwise
+        // 0 * NaN/Inf must be formed and propagated (same contract as the
+        // GEMM pruned-row elision, tensor/ops.hpp).
+        const bool filt_finite = tensor::all_finite(filt, kernel_ * kernel_);
         for (std::size_t img = 0; img < n; ++img) {
           const std::size_t plane = img * channels_ + c;
           const float* src = in + plane * h * w;
           const float* g = go + plane * oh * ow;
           float* d = dxp + plane * h * w;
+          const bool may_skip =
+              filt_finite && tensor::all_finite(src, h * w);
           for (std::size_t oy = 0; oy < oh; ++oy) {
             for (std::size_t ox = 0; ox < ow; ++ox) {
               const float gv = g[oy * ow + ox];
-              if (gv == 0.0f) continue;
+              if (may_skip && gv == 0.0f) continue;
               for (std::size_t ky = 0; ky < kernel_; ++ky) {
                 const std::ptrdiff_t iy =
                     std::ptrdiff_t(oy * stride_ + ky) - std::ptrdiff_t(pad_);

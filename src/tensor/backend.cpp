@@ -1,0 +1,73 @@
+#include "tensor/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "tensor/simd/kernels.hpp"
+
+namespace spatl::tensor {
+
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kScalar: return "scalar";
+    case BackendKind::kCpuSimd: return "cpu-simd";
+  }
+  return "unknown";
+}
+
+BackendKind parse_backend(const std::string& name) {
+  if (name == "scalar") return BackendKind::kScalar;
+  if (name == "cpu-simd") return BackendKind::kCpuSimd;
+  if (name == "auto") {
+    return cpu_simd_supported() ? BackendKind::kCpuSimd
+                                : BackendKind::kScalar;
+  }
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (scalar|cpu-simd|auto)");
+}
+
+bool cpu_simd_supported() { return simd::avx2_context() != nullptr; }
+
+const ComputeContext& cpu_simd_context() {
+  const ComputeContext* ctx = simd::avx2_context();
+  return ctx != nullptr ? *ctx : scalar_context();
+}
+
+namespace {
+
+const ComputeContext& context_for(BackendKind kind) {
+  return kind == BackendKind::kCpuSimd ? cpu_simd_context()
+                                       : scalar_context();
+}
+
+/// One-time default: SPATL_BACKEND from the environment, else scalar. The
+/// magic-static wrapper makes the getenv read race-free no matter which
+/// thread first touches a kernel.
+BackendKind default_backend() {
+  static const BackendKind kind = [] {
+    const char* env = std::getenv("SPATL_BACKEND");
+    return env != nullptr ? parse_backend(env) : BackendKind::kScalar;
+  }();
+  return kind;
+}
+
+std::atomic<const ComputeContext*>& active_slot() {
+  static std::atomic<const ComputeContext*> slot{
+      &context_for(default_backend())};
+  return slot;
+}
+
+}  // namespace
+
+const ComputeContext& active_context() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+BackendKind active_backend() { return active_context().kind(); }
+
+void set_active_backend(BackendKind kind) {
+  active_slot().store(&context_for(kind), std::memory_order_relaxed);
+}
+
+}  // namespace spatl::tensor

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "tensor/backend.hpp"
 
 namespace spatl::tensor {
 
@@ -15,7 +16,23 @@ void require(bool cond, const char* msg) {
   if (!cond) throw std::invalid_argument(msg);
 }
 
+/// Row grain for the GEMM family. The formula is frozen: chunk geometry is
+/// part of the fixed-chunk determinism contract (common/parallel.hpp), so
+/// changing it would silently reshuffle float reduction boundaries and break
+/// bit-replay. `m` does not participate on purpose — the historical heuristic
+/// sizes chunks by per-row work (k*n flops) only.
+std::size_t gemm_grain(std::size_t /*m*/, std::size_t k, std::size_t n) {
+  return std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n));
+}
+
 }  // namespace
+
+bool all_finite(const float* p, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
 
 void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
   require(a.rank() == 2 && b.rank() == 2, "matmul: inputs must be rank-2");
@@ -25,26 +42,21 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // No finiteness check here: the divergence guard deliberately runs these
-  // kernels on exploded weights to detect and roll back bad rounds. Aliasing
-  // the output with an input, however, is always a caller bug.
+  // Non-finite inputs are NOT rejected: the divergence guard deliberately
+  // runs these kernels on exploded weights to detect and roll back bad
+  // rounds. The one-shot pre-scan below only licenses the backends'
+  // pruned-row elision — with a non-finite B every 0 * NaN/Inf product must
+  // be formed so it propagates per IEEE-754. Aliasing the output with an
+  // input, however, is always a caller bug.
   SPATL_DCHECK(pc != pa && pc != pb);
+  const bool b_finite = all_finite(pb, k * n);
+  const ComputeContext& ctx = active_context();
   common::parallel_for_ranges(
       0, m,
       [&](std::size_t row_lo, std::size_t row_hi) {
-        for (std::size_t i = row_lo; i < row_hi; ++i) {
-          float* crow = pc + i * n;
-          std::fill(crow, crow + n, 0.0f);
-          const float* arow = pa + i * k;
-          for (std::size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;  // sparse rows after pruning are common
-            const float* brow = pb + p * n;
-            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
+        ctx.gemm_nn(pa, pb, pc, row_lo, row_hi, k, n, b_finite);
       },
-      /*grain=*/std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
+      /*grain=*/gemm_grain(m, k, n));
 }
 
 void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -55,21 +67,15 @@ void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  SPATL_DCHECK(pc != pa && pc != pb);
+  const bool b_finite = all_finite(pb, k * n);
+  const ComputeContext& ctx = active_context();
   common::parallel_for_ranges(
       0, m,
       [&](std::size_t row_lo, std::size_t row_hi) {
-        for (std::size_t i = row_lo; i < row_hi; ++i) {
-          float* crow = pc + i * n;
-          std::fill(crow, crow + n, 0.0f);
-          for (std::size_t p = 0; p < k; ++p) {
-            const float av = pa[p * m + i];
-            if (av == 0.0f) continue;
-            const float* brow = pb + p * n;
-            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
+        ctx.gemm_tn(pa, pb, pc, row_lo, row_hi, m, k, n, b_finite);
       },
-      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
+      gemm_grain(m, k, n));
 }
 
 void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -80,21 +86,14 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  SPATL_DCHECK(pc != pa && pc != pb);
+  const ComputeContext& ctx = active_context();
   common::parallel_for_ranges(
       0, m,
       [&](std::size_t row_lo, std::size_t row_hi) {
-        for (std::size_t i = row_lo; i < row_hi; ++i) {
-          const float* arow = pa + i * k;
-          float* crow = pc + i * n;
-          for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            double acc = 0.0;
-            for (std::size_t p = 0; p < k; ++p) acc += double(arow[p]) * brow[p];
-            crow[j] = static_cast<float>(acc);
-          }
-        }
+        ctx.gemm_nt(pa, pb, pc, row_lo, row_hi, k, n);
       },
-      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(1, k * n)));
+      gemm_grain(m, k, n));
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -253,6 +252,10 @@ float cross_entropy(const Tensor& logits, const std::vector<int>& labels,
 std::vector<int> argmax_rows(const Tensor& scores) {
   require(scores.rank() == 2, "argmax_rows: input must be (N,C)");
   const std::size_t n = scores.dim(0), c = scores.dim(1);
+  // A (N, 0) tensor has no maximum per row; max_element over an empty range
+  // would dereference-free but yield index 0 into a zero-width row, which
+  // callers then use to index labels/probabilities out of bounds.
+  require(n == 0 || c > 0, "argmax_rows: rows must have at least one column");
   std::vector<int> out(n);
   const float* p = scores.data();
   for (std::size_t i = 0; i < n; ++i) {

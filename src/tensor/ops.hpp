@@ -4,6 +4,30 @@
 // All kernels parallelize over their outermost independent dimension via
 // common::parallel_for; none of them allocate inside the hot loop when the
 // caller supplies an output tensor.
+//
+// GEMM accumulation contract (tensor/backend.hpp dispatches under it):
+//
+//  * Every matmul variant accumulates in float32 over the k dimension in
+//    ascending order on the scalar backend. No variant widens to double —
+//    matmul_nt historically did, which made its rounding incommensurable
+//    with the other variants and with any SIMD implementation; it now
+//    follows the same contract.
+//  * The scalar backend is the bit-identity oracle: for a fixed backend,
+//    outputs are byte-stable across thread-pool sizes (the fixed-chunk
+//    contract of common/parallel.hpp) and across runs.
+//  * The cpu-simd backend may contract multiply-adds (FMA) and split the
+//    k accumulation across vector lanes reduced at the end. Per output
+//    element, its divergence from scalar is bounded by 4 * k ulps measured
+//    at the magnitude of dot(|a_i|, |b_j|) — the absolute-value dot product
+//    is the natural error scale for a k-term sum; ulps *of the result*
+//    would not be cancellation-safe, since near-total cancellation shrinks
+//    the result (and its ulp) without shrinking the accumulated rounding
+//    error. Equivalently: |simd - scalar| <= 4k * 2^-23 * dot(|a_i|,|b_j|),
+//    with +/-0 identified and NaN pairing with NaN.
+//    tests/test_backend.cpp enforces the bound.
+//  * NaN/Inf semantics are backend-independent: the zero-term elision for
+//    pruned rows is licensed by a one-shot all_finite pre-scan of B, so
+//    0 * NaN = NaN and 0 * Inf = NaN always propagate per IEEE-754.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +36,11 @@
 #include "tensor/tensor.hpp"
 
 namespace spatl::tensor {
+
+/// True when every one of `count` floats at `p` is finite (no NaN/Inf).
+/// O(count) with early exit; the GEMM entry points run it once per call on
+/// the B operand to license the pruned-row elision (see ops.cpp).
+bool all_finite(const float* p, std::size_t count);
 
 // ---------------------------------------------------------------- GEMM ----
 
@@ -59,7 +88,8 @@ void softmax_rows(const Tensor& logits, Tensor& probs);
 float cross_entropy(const Tensor& logits, const std::vector<int>& labels,
                     Tensor* dlogits = nullptr);
 
-/// Row-wise argmax of (N, C).
+/// Row-wise argmax of (N, C). Requires C > 0 when N > 0 (a zero-width row
+/// has no maximum); throws std::invalid_argument otherwise.
 std::vector<int> argmax_rows(const Tensor& scores);
 
 /// Fraction of rows whose argmax equals the label.

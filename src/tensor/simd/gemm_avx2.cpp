@@ -1,0 +1,205 @@
+// AVX2+FMA GEMM panels for the cpu-simd backend.
+//
+// Blocked, register-tiled kernels over the same row panels the scalar
+// reference receives, so the fixed-chunk contract (and therefore per-backend
+// thread-count bit-identity) is untouched. Differences from the scalar
+// oracle are confined to rounding: FMA contracts each multiply-add, and the
+// nt dot products accumulate in eight lanes reduced at the end. Both are
+// covered by the documented ulp bound in tensor/ops.hpp and locked by
+// tests/test_backend.cpp.
+//
+// NaN/Inf semantics match the reference exactly: the pruned-row elision in
+// nn/tn fires only under the caller's `b_finite` pre-scan, and vector FMA
+// propagates non-finite values per IEEE-754 on every other path.
+//
+// This file is compiled with -mavx2 -mfma (see src/tensor/CMakeLists.txt)
+// and only ever dispatched to after the runtime CPU check below, so no
+// illegal instruction can escape. It is the sanctioned home for vector
+// intrinsics — the simd-isolation lint rule keeps <immintrin.h> out of
+// every directory but this one.
+#include "tensor/backend.hpp"
+#include "tensor/simd/kernels.hpp"
+
+#if defined(__x86_64__) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace spatl::tensor::simd {
+namespace {
+
+/// Load mask covering the first `r` (1..7) lanes of a vector.
+inline __m256i tail_mask(std::size_t r) {
+  alignas(32) static const int kLanes[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                             0,  0,  0,  0,  0,  0,  0,  0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kLanes + (8 - r)));
+}
+
+/// Sum of the eight lanes.
+inline float hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 shuf = _mm_movehdup_ps(lo);
+  __m128 sums = _mm_add_ps(lo, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  return _mm_cvtss_f32(sums);
+}
+
+/// Shared body for the nn/tn panels: both accumulate C[i,:] += av * B[p,:]
+/// with av drawn either from a row of A (nn) or a column of A (tn). `AvAt`
+/// maps (i, p) to av.
+template <typename AvAt>
+void gemm_rows_axpy(const float* b, float* c, std::size_t row_lo,
+                    std::size_t row_hi, std::size_t k, std::size_t n,
+                    bool b_finite, const AvAt& av_at) {
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    // Four-vector (32-column) register tile: accumulators live in ymm for
+    // the whole k sweep, touching crow memory once per tile.
+    for (; j + 32 <= n; j += 32) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = av_at(i, p);
+        if (b_finite && av == 0.0f) continue;  // pruned-row elision
+        const __m256 va = _mm256_set1_ps(av);
+        const float* bp = b + p * n + j;
+        acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp), acc0);
+        acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp + 8), acc1);
+        acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp + 16), acc2);
+        acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp + 24), acc3);
+      }
+      _mm256_storeu_ps(crow + j, acc0);
+      _mm256_storeu_ps(crow + j + 8, acc1);
+      _mm256_storeu_ps(crow + j + 16, acc2);
+      _mm256_storeu_ps(crow + j + 24, acc3);
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = av_at(i, p);
+        if (b_finite && av == 0.0f) continue;
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(av),
+                              _mm256_loadu_ps(b + p * n + j), acc);
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    if (j < n) {
+      const __m256i mask = tail_mask(n - j);
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = av_at(i, p);
+        if (b_finite && av == 0.0f) continue;
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(av),
+                              _mm256_maskload_ps(b + p * n + j, mask), acc);
+      }
+      _mm256_maskstore_ps(crow + j, mask, acc);
+    }
+  }
+}
+
+class Avx2Context final : public ComputeContext {
+ public:
+  BackendKind kind() const override { return BackendKind::kCpuSimd; }
+
+  void gemm_nn(const float* a, const float* b, float* c, std::size_t row_lo,
+               std::size_t row_hi, std::size_t k, std::size_t n,
+               bool b_finite) const override {
+    gemm_rows_axpy(b, c, row_lo, row_hi, k, n, b_finite,
+                   [a, k](std::size_t i, std::size_t p) {
+                     return a[i * k + p];
+                   });
+  }
+
+  void gemm_tn(const float* a, const float* b, float* c, std::size_t row_lo,
+               std::size_t row_hi, std::size_t m, std::size_t k,
+               std::size_t n, bool b_finite) const override {
+    gemm_rows_axpy(b, c, row_lo, row_hi, k, n, b_finite,
+                   [a, m](std::size_t i, std::size_t p) {
+                     return a[p * m + i];
+                   });
+  }
+
+  void gemm_nt(const float* a, const float* b, float* c, std::size_t row_lo,
+               std::size_t row_hi, std::size_t k,
+               std::size_t n) const override {
+    for (std::size_t i = row_lo; i < row_hi; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      std::size_t j = 0;
+      // Four dot products at a time: four independent FMA chains keep the
+      // FMA ports busy, and each B row is streamed exactly once.
+      for (; j + 4 <= n; j += 4) {
+        const float* b0 = b + (j + 0) * k;
+        const float* b1 = b + (j + 1) * k;
+        const float* b2 = b + (j + 2) * k;
+        const float* b3 = b + (j + 3) * k;
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        __m256 acc2 = _mm256_setzero_ps();
+        __m256 acc3 = _mm256_setzero_ps();
+        std::size_t p = 0;
+        for (; p + 8 <= k; p += 8) {
+          const __m256 va = _mm256_loadu_ps(arow + p);
+          acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + p), acc0);
+          acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + p), acc1);
+          acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + p), acc2);
+          acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + p), acc3);
+        }
+        float s0 = hsum(acc0), s1 = hsum(acc1);
+        float s2 = hsum(acc2), s3 = hsum(acc3);
+        for (; p < k; ++p) {
+          const float av = arow[p];
+          s0 += av * b0[p];
+          s1 += av * b1[p];
+          s2 += av * b2[p];
+          s3 += av * b3[p];
+        }
+        crow[j + 0] = s0;
+        crow[j + 1] = s1;
+        crow[j + 2] = s2;
+        crow[j + 3] = s3;
+      }
+      for (; j < n; ++j) {
+        const float* brow = b + j * k;
+        __m256 acc = _mm256_setzero_ps();
+        std::size_t p = 0;
+        for (; p + 8 <= k; p += 8) {
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p),
+                                _mm256_loadu_ps(brow + p), acc);
+        }
+        float s = hsum(acc);
+        for (; p < k; ++p) s += arow[p] * brow[p];
+        crow[j] = s;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const ComputeContext* avx2_context() {
+  static const Avx2Context ctx;
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported ? &ctx : nullptr;
+}
+
+}  // namespace spatl::tensor::simd
+
+#else  // non-x86-64 build target (or AVX2/FMA not enabled for this TU)
+
+namespace spatl::tensor::simd {
+
+const ComputeContext* avx2_context() { return nullptr; }
+
+}  // namespace spatl::tensor::simd
+
+#endif

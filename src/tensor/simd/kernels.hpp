@@ -1,0 +1,17 @@
+// Internal seam between the backend registry (tensor/backend.cpp) and the
+// SIMD translation units. This header is deliberately intrinsics-free: the
+// simd-isolation lint rule confines <immintrin.h> (and friends) to
+// src/tensor/simd/*.cpp, so vector code can never leak into portable
+// translation units through an include.
+#pragma once
+
+namespace spatl::tensor {
+class ComputeContext;
+namespace simd {
+
+/// The AVX2+FMA ComputeContext, or nullptr when the build target is not
+/// x86-64 or the running CPU lacks AVX2/FMA (checked once at first call).
+const ComputeContext* avx2_context();
+
+}  // namespace simd
+}  // namespace spatl::tensor

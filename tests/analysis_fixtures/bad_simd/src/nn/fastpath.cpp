@@ -1,0 +1,12 @@
+// Known-bad fixture: vector-intrinsics header outside src/tensor/simd/.
+#include <immintrin.h>
+
+namespace fixture {
+
+float oops_sum8(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+  (void)v;
+  return p[0];
+}
+
+}  // namespace fixture

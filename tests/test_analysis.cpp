@@ -173,6 +173,17 @@ TEST(Fixtures, LegacyFixtureFlagsBannedRandom) {
   EXPECT_EQ(counts, expected);
 }
 
+TEST(Fixtures, SimdFixtureFlagsOnlyTheOutOfTreeIntrinsics) {
+  // The fixture pairs an <immintrin.h> include under src/nn/ (flagged) with
+  // an identical one under src/tensor/simd/ (the sanctioned home, clean).
+  const Report report = analyze_fixture("bad_simd");
+  const auto counts = counts_by_rule(report);
+  const std::map<std::string, std::size_t> expected = {{"simd-isolation", 1}};
+  EXPECT_EQ(counts, expected);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/nn/fastpath.cpp");
+}
+
 TEST(Fixtures, TelemetryFixtureFlagsExactlyTheTypoedRecordType) {
   const Report report = analyze_fixture("bad_telemetry");
   const auto counts = counts_by_rule(report);

@@ -1,0 +1,504 @@
+// ComputeContext backend seam (tensor/backend.hpp): selection semantics,
+// the scalar oracle's bit-identity against the historical kernels, NaN/Inf
+// propagation on every backend, and the cpu-simd backend's documented ulp
+// bound + thread-count invariance.
+//
+// Contract under test (tensor/ops.hpp):
+//   (a) scalar is bit-identical to the pre-backend kernels on finite inputs
+//       (matmul_nt deliberately moved from double to float accumulation;
+//       its replica below IS the new documented contract),
+//   (b) NaN/Inf in either operand propagates per IEEE-754 on both backends
+//       even where pruned rows used to swallow them,
+//   (c) cpu-simd is within max ulp distance 4*k of scalar per element and
+//       is itself bit-identical across 1/2/8-thread pools.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "data/synthetic.hpp"
+#include "fl/algorithm.hpp"
+#include "fl/runner.hpp"
+#include "nn/conv.hpp"
+#include "nn/depthwise.hpp"
+#include "nn/module.hpp"
+#include "tensor/backend.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace spatl {
+namespace {
+
+using tensor::BackendKind;
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Pin a backend for one scope, restoring the previous one on exit.
+class BackendGuard {
+ public:
+  explicit BackendGuard(BackendKind kind)
+      : prev_(tensor::active_backend()) {
+    tensor::set_active_backend(kind);
+  }
+  ~BackendGuard() { tensor::set_active_backend(prev_); }
+
+ private:
+  BackendKind prev_;
+};
+
+template <typename Fn>
+auto with_pool_size(std::size_t threads, Fn&& fn) {
+  common::ThreadPool pool(threads);
+  common::ThreadPool::ScopedOverride scope(pool);
+  return fn();
+}
+
+/// Ulp distance on the monotonic integer number line, +/-0 identified.
+/// Returns 0 when both are NaN; the maximum value when exactly one is.
+std::int64_t ulp_distance(float a, float b) {
+  const bool na = std::isnan(a), nb = std::isnan(b);
+  if (na || nb) {
+    return na == nb ? 0 : std::numeric_limits<std::int64_t>::max();
+  }
+  const auto monotonic = [](float x) {
+    std::int32_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    return bits >= 0 ? std::int64_t(bits)
+                     : -std::int64_t(bits & 0x7FFFFFFF);
+  };
+  const std::int64_t d = monotonic(a) - monotonic(b);
+  return d < 0 ? -d : d;
+}
+
+testing::AssertionResult bit_identical(const std::vector<float>& a,
+                                       const std::vector<float>& b) {
+  if (a.size() != b.size()) {
+    return testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    return testing::AssertionFailure() << "float payloads differ bitwise";
+  }
+  return testing::AssertionSuccess();
+}
+
+Tensor transpose2d(const Tensor& t) {
+  const std::size_t m = t.dim(0), n = t.dim(1);
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out[j * m + i] = t[i * n + j];
+  }
+  return out;
+}
+
+/// Zero out full rows of `a` — the salient-pruning pattern the elision
+/// fast path exists for.
+void prune_rows(Tensor& a, std::initializer_list<std::size_t> rows) {
+  const std::size_t k = a.dim(1);
+  for (std::size_t r : rows) {
+    for (std::size_t p = 0; p < k; ++p) a[r * k + p] = 0.0f;
+  }
+}
+
+// --- historical-kernel replicas (criterion (a) oracles) --------------------
+//
+// These serial loops are byte-for-byte the pre-backend matmul/matmul_tn
+// bodies, unconditional zero-skip included. Serial is enough: no reduction
+// crosses a row, so chunking cannot change any output bit.
+
+Tensor historical_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * b[p * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor historical_matmul_tn(const Tensor& a, const Tensor& b) {
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * b[p * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+/// The documented float-over-k contract for matmul_nt (ops.hpp) — the one
+/// deliberate departure from the pre-backend kernel, which widened to
+/// double.
+Tensor contract_matmul_nt(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[j * k + p];
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+// --- selection -------------------------------------------------------------
+
+TEST(BackendSelect, ParseNamesAndReject) {
+  EXPECT_EQ(tensor::parse_backend("scalar"), BackendKind::kScalar);
+  EXPECT_EQ(tensor::parse_backend("cpu-simd"), BackendKind::kCpuSimd);
+  const BackendKind autod = tensor::parse_backend("auto");
+  EXPECT_EQ(autod, tensor::cpu_simd_supported() ? BackendKind::kCpuSimd
+                                                : BackendKind::kScalar);
+  EXPECT_THROW(tensor::parse_backend("gpu"), std::invalid_argument);
+  EXPECT_THROW(tensor::parse_backend(""), std::invalid_argument);
+}
+
+TEST(BackendSelect, NamesRoundTrip) {
+  EXPECT_STREQ(tensor::backend_name(BackendKind::kScalar), "scalar");
+  EXPECT_STREQ(tensor::backend_name(BackendKind::kCpuSimd), "cpu-simd");
+  EXPECT_STREQ(tensor::scalar_context().name(), "scalar");
+}
+
+TEST(BackendSelect, SetActiveSwitchesAndRestores) {
+  const BackendKind before = tensor::active_backend();
+  {
+    BackendGuard guard(BackendKind::kScalar);
+    EXPECT_EQ(tensor::active_backend(), BackendKind::kScalar);
+  }
+  EXPECT_EQ(tensor::active_backend(), before);
+}
+
+TEST(BackendSelect, CpuSimdContextNeverNull) {
+  // Falls back to scalar on unsupported hardware rather than handing the
+  // dispatcher a null context.
+  const tensor::ComputeContext& ctx = tensor::cpu_simd_context();
+  if (tensor::cpu_simd_supported()) {
+    EXPECT_EQ(ctx.kind(), BackendKind::kCpuSimd);
+  } else {
+    EXPECT_EQ(ctx.kind(), BackendKind::kScalar);
+  }
+}
+
+// --- (a) scalar bit-identity on finite inputs ------------------------------
+
+TEST(ScalarOracle, BitIdenticalToHistoricalKernelsOnPrunedFiniteInputs) {
+  BackendGuard guard(BackendKind::kScalar);
+  common::Rng rng(0x5CA1A);
+  Tensor a = Tensor::randn({37, 53}, rng);
+  prune_rows(a, {0, 9, 20, 36});  // exercise the elision fast path
+  const Tensor b = Tensor::randn({53, 29}, rng);
+
+  Tensor c;
+  tensor::matmul(a, b, c);
+  EXPECT_TRUE(bit_identical(c.storage(), historical_matmul(a, b).storage()));
+
+  const Tensor at = transpose2d(a);
+  Tensor c_tn;
+  tensor::matmul_tn(at, b, c_tn);
+  EXPECT_TRUE(
+      bit_identical(c_tn.storage(), historical_matmul_tn(at, b).storage()));
+
+  const Tensor bt = transpose2d(b);
+  Tensor c_nt;
+  tensor::matmul_nt(a, bt, c_nt);
+  EXPECT_TRUE(
+      bit_identical(c_nt.storage(), contract_matmul_nt(a, bt).storage()));
+}
+
+// --- (b) NaN/Inf propagation on both backends ------------------------------
+
+std::vector<BackendKind> available_backends() {
+  std::vector<BackendKind> kinds{BackendKind::kScalar};
+  if (tensor::cpu_simd_supported()) kinds.push_back(BackendKind::kCpuSimd);
+  return kinds;
+}
+
+bool has_nan(const Tensor& t) {
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    if (std::isnan(t[i])) return true;
+  }
+  return false;
+}
+
+TEST(NonFinitePropagation, PrunedRowsTimesPoisonedBOnEveryBackend) {
+  for (const BackendKind kind : available_backends()) {
+    BackendGuard guard(kind);
+    for (const float poison : {kNaN, kInf, -kInf}) {
+      common::Rng rng(0xF00D);
+      Tensor a = Tensor::randn({8, 16}, rng);
+      prune_rows(a, {2, 5});
+      Tensor b = Tensor::randn({16, 11}, rng);
+      b[7 * 11 + 4] = poison;
+
+      Tensor c;
+      tensor::matmul(a, b, c);
+      // The pruned rows hit 0 * poison: the swallowed case pre-PR.
+      EXPECT_TRUE(std::isnan(c[2 * 11 + 4]))
+          << tensor::backend_name(kind) << " poison " << poison;
+      EXPECT_TRUE(std::isnan(c[5 * 11 + 4]))
+          << tensor::backend_name(kind) << " poison " << poison;
+
+      Tensor c_tn;
+      tensor::matmul_tn(transpose2d(a), b, c_tn);
+      EXPECT_TRUE(std::isnan(c_tn[2 * 11 + 4])) << tensor::backend_name(kind);
+      EXPECT_TRUE(std::isnan(c_tn[5 * 11 + 4])) << tensor::backend_name(kind);
+
+      Tensor c_nt;
+      tensor::matmul_nt(a, transpose2d(b), c_nt);
+      EXPECT_TRUE(std::isnan(c_nt[2 * 11 + 4])) << tensor::backend_name(kind);
+    }
+  }
+}
+
+TEST(NonFinitePropagation, ConvForwardCarriesPoisonedInput) {
+  for (const BackendKind kind : available_backends()) {
+    BackendGuard guard(kind);
+    common::Rng rng(31);
+    nn::Conv2d conv(2, 4, 3, 1, 1, /*bias=*/true);
+    conv.init_params(rng);
+    Tensor x = Tensor::randn({1, 2, 6, 6}, rng);
+    x[10] = kNaN;
+    const Tensor y = conv.forward(x, /*train=*/true);
+    EXPECT_TRUE(has_nan(y)) << tensor::backend_name(kind);
+  }
+}
+
+TEST(NonFinitePropagation, ConvBackwardZeroGradTimesPoisonedWeights) {
+  // The exploded-weights case the divergence guard depends on: weights went
+  // NaN, the incoming gradient is all zero (dead ReLU region), and dX must
+  // still read NaN — pre-PR the zero rows of the gradient GEMM swallowed it.
+  for (const BackendKind kind : available_backends()) {
+    BackendGuard guard(kind);
+    common::Rng rng(32);
+    nn::Conv2d conv(2, 4, 3, 1, 1, /*bias=*/false);
+    conv.init_params(rng);
+    std::vector<nn::ParamView> params;
+    conv.collect_params("conv.", params);
+    ASSERT_EQ(params.size(), 1u);
+    (*params[0].value)[3] = kNaN;  // one exploded weight
+
+    Tensor x = Tensor::randn({1, 2, 6, 6}, rng);
+    (void)conv.forward(x, /*train=*/true);
+    Tensor gout({1, 4, 6, 6});  // all-zero upstream gradient
+    const Tensor dx = conv.backward(gout);
+    EXPECT_TRUE(has_nan(dx)) << tensor::backend_name(kind);
+  }
+}
+
+TEST(NonFinitePropagation, DepthwiseBackwardPoisonedFilter) {
+  // Same bug class in the depthwise backward's gv == 0 skip.
+  common::Rng rng(33);
+  nn::DepthwiseConv2d dw(2, 3, 1, 1);
+  dw.init_params(rng);
+  std::vector<nn::ParamView> params;
+  dw.collect_params("dw.", params);
+  ASSERT_EQ(params.size(), 1u);
+  (*params[0].value)[1] = kNaN;
+
+  Tensor x = Tensor::randn({1, 2, 5, 5}, rng);
+  (void)dw.forward(x, /*train=*/true);
+  Tensor gout({1, 2, 5, 5});  // all-zero upstream gradient
+  const Tensor dx = dw.backward(gout);
+  EXPECT_TRUE(has_nan(dx));
+}
+
+TEST(NonFinitePropagation, DepthwiseBackwardPoisonedInput) {
+  common::Rng rng(34);
+  nn::DepthwiseConv2d dw(1, 3, 1, 1);
+  dw.init_params(rng);
+  Tensor x = Tensor::randn({1, 1, 5, 5}, rng);
+  x[12] = kInf;
+  (void)dw.forward(x, /*train=*/true);
+  Tensor gout({1, 1, 5, 5});  // all-zero upstream gradient
+  (void)dw.backward(gout);
+  std::vector<nn::ParamView> params;
+  dw.collect_params("dw.", params);
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_TRUE(has_nan(*params[0].grad))
+      << "0 * Inf from the poisoned input must reach the filter gradient";
+}
+
+// --- (c) cpu-simd: ulp bound vs scalar, bit-identity across pools ----------
+
+struct GemmCase {
+  std::size_t m, k, n;
+};
+
+// Shapes chosen to hit every SIMD code path: the 32-column tile, the
+// 8-column tile, the masked tail, the 4-dot nt tile, its j remainder, and
+// the scalar k tail.
+const GemmCase kGemmCases[] = {
+    {1, 1, 1},   {2, 3, 4},    {7, 5, 3},     {16, 16, 16},
+    {33, 17, 9}, {67, 123, 45}, {12, 64, 40},  {5, 9, 77},
+};
+
+std::vector<float> run_gemm_family(const GemmCase& gc, bool pruned) {
+  common::Rng rng(gc.m * 7919 + gc.k * 131 + gc.n);
+  Tensor a = Tensor::randn({gc.m, gc.k}, rng);
+  if (pruned && gc.m > 2) prune_rows(a, {0, gc.m / 2});
+  const Tensor b = Tensor::randn({gc.k, gc.n}, rng);
+  const Tensor at = transpose2d(a);
+  const Tensor bt = transpose2d(b);
+  std::vector<float> flat;
+  Tensor c;
+  tensor::matmul(a, b, c);
+  flat.insert(flat.end(), c.storage().begin(), c.storage().end());
+  tensor::matmul_tn(at, b, c);
+  flat.insert(flat.end(), c.storage().begin(), c.storage().end());
+  tensor::matmul_nt(a, bt, c);
+  flat.insert(flat.end(), c.storage().begin(), c.storage().end());
+  return flat;
+}
+
+// The |a|·|b| dot per output element: the natural scale for accumulation
+// error. A bound in ulps *of the result* is not cancellation-safe — when
+// partial products nearly cancel, the result's magnitude (and with it its
+// ulp) shrinks while the rounding error, proportional to the magnitudes
+// that were summed, does not. The contract therefore measures ulps at the
+// scale of the absolute-value dot product (tensor/ops.hpp).
+std::vector<float> abs_dot_scale(const GemmCase& gc, bool pruned) {
+  common::Rng rng(gc.m * 7919 + gc.k * 131 + gc.n);
+  Tensor a = Tensor::randn({gc.m, gc.k}, rng);
+  if (pruned && gc.m > 2) prune_rows(a, {0, gc.m / 2});
+  const Tensor b = Tensor::randn({gc.k, gc.n}, rng);
+  std::vector<float> scale(gc.m * gc.n, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < gc.m; ++i) {
+    for (std::size_t p = 0; p < gc.k; ++p) {
+      const float av = std::fabs(pa[i * gc.k + p]);
+      for (std::size_t j = 0; j < gc.n; ++j) {
+        scale[i * gc.n + j] += av * std::fabs(pb[p * gc.n + j]);
+      }
+    }
+  }
+  return scale;
+}
+
+TEST(SimdBackend, WithinDocumentedUlpBoundOfScalarAcrossPools) {
+  if (!tensor::cpu_simd_supported()) {
+    GTEST_SKIP() << "CPU lacks AVX2/FMA";
+  }
+  constexpr float kUlpAtUnit = 1.1920929e-7f;  // 2^-23: ulp spacing at 1.0
+  for (const GemmCase& gc : kGemmCases) {
+    for (const bool pruned : {false, true}) {
+      const auto scalar = [&] {
+        BackendGuard guard(BackendKind::kScalar);
+        return run_gemm_family(gc, pruned);
+      }();
+      // All three variants compute the same product, so one m x n scale
+      // table covers the whole concatenated family output.
+      const auto scale = abs_dot_scale(gc, pruned);
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        const auto simd = with_pool_size(threads, [&] {
+          BackendGuard guard(BackendKind::kCpuSimd);
+          return run_gemm_family(gc, pruned);
+        });
+        ASSERT_EQ(simd.size(), scalar.size());
+        ASSERT_EQ(simd.size(), 3 * scale.size());
+        const std::int64_t bound = 4 * std::int64_t(gc.k);
+        for (std::size_t i = 0; i < simd.size(); ++i) {
+          // Primary contract: <= 4k ulps measured at the |a|.|b| scale.
+          // The result-relative ulp distance is accepted too (it is the
+          // tighter reading whenever no cancellation occurred).
+          const float abs_err = std::fabs(simd[i] - scalar[i]);
+          const float abs_bound =
+              float(bound) * kUlpAtUnit * scale[i % scale.size()];
+          if (abs_err <= abs_bound) continue;
+          ASSERT_LE(ulp_distance(simd[i], scalar[i]), bound)
+              << "m=" << gc.m << " k=" << gc.k << " n=" << gc.n
+              << " pruned=" << pruned << " threads=" << threads
+              << " element " << i << ": " << simd[i] << " vs " << scalar[i]
+              << " (|a|.|b| scale " << scale[i % scale.size()] << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBackend, BitIdenticalAcrossPoolSizes) {
+  if (!tensor::cpu_simd_supported()) {
+    GTEST_SKIP() << "CPU lacks AVX2/FMA";
+  }
+  const auto run = [] {
+    BackendGuard guard(BackendKind::kCpuSimd);
+    std::vector<float> flat;
+    for (const GemmCase& gc : kGemmCases) {
+      const auto r = run_gemm_family(gc, /*pruned=*/true);
+      flat.insert(flat.end(), r.begin(), r.end());
+    }
+    return flat;
+  };
+  const auto one = with_pool_size(1, run);
+  const auto two = with_pool_size(2, run);
+  const auto eight = with_pool_size(8, run);
+  EXPECT_TRUE(bit_identical(one, two));
+  EXPECT_TRUE(bit_identical(one, eight));
+}
+
+// --- runner plumbing -------------------------------------------------------
+
+TEST(RunnerBackend, RunOptionsBackendIsAppliedBeforeRoundOne) {
+  BackendGuard restore(tensor::active_backend());
+  tensor::set_active_backend(BackendKind::kScalar);
+
+  data::SyntheticConfig scfg;
+  scfg.num_samples = 60;
+  scfg.image_size = 8;
+  scfg.num_classes = 10;
+  scfg.seed = 11;
+  const auto source = data::make_synth_cifar(scfg);
+  common::Rng rng(13);
+  fl::FlEnvironment env(source, /*clients=*/2, /*beta=*/0.5,
+                        /*val_fraction=*/0.25, rng);
+  fl::FlConfig cfg;
+  cfg.model.arch = "cnn2";
+  cfg.model.in_channels = 3;
+  cfg.model.input_size = 8;
+  cfg.model.width_mult = 0.25;
+  cfg.model.num_classes = 10;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 32;
+  cfg.local.lr = 0.05;
+  cfg.seed = 21;
+  fl::FedAvg algo(env, cfg);
+  fl::RunOptions opts;
+  opts.rounds = 1;
+  opts.eval_every = 10;
+  opts.backend = "auto";
+  fl::run_federated(algo, opts);
+  EXPECT_EQ(tensor::active_backend(), tensor::parse_backend("auto"));
+
+  // An unknown name surfaces as the usual invalid_argument, before any
+  // round runs.
+  opts.backend = "warp-drive";
+  EXPECT_THROW(fl::run_federated(algo, opts), std::invalid_argument);
+
+  // Empty leaves the ambient backend untouched.
+  tensor::set_active_backend(BackendKind::kScalar);
+  opts.backend.clear();
+  fl::run_federated(algo, opts);
+  EXPECT_EQ(tensor::active_backend(), BackendKind::kScalar);
+}
+
+}  // namespace
+}  // namespace spatl

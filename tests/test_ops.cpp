@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "tensor/ops.hpp"
@@ -206,6 +207,113 @@ TEST(ArgmaxAccuracy, Basics) {
   EXPECT_DOUBLE_EQ(accuracy(scores, {1, 2}), 0.5);
   EXPECT_DOUBLE_EQ(accuracy(scores, {0, 2}), 0.0);
 }
+
+// Regression: a (N, 0) input used to walk max_element over an empty range
+// and hand back index 0 into a zero-width row; now it is rejected up front.
+TEST(ArgmaxAccuracy, RejectsZeroWidthRows) {
+  Tensor scores({3, 0});
+  EXPECT_THROW(argmax_rows(scores), std::invalid_argument);
+  // No rows at all is fine — there is nothing to take a maximum over.
+  Tensor empty({0, 0});
+  EXPECT_TRUE(argmax_rows(empty).empty());
+}
+
+TEST(AllFinite, DetectsNonFiniteAnywhere) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> v(100, 1.0f);
+  EXPECT_TRUE(all_finite(v.data(), v.size()));
+  v[99] = nan;
+  EXPECT_FALSE(all_finite(v.data(), v.size()));
+  v[99] = -inf;
+  EXPECT_FALSE(all_finite(v.data(), v.size()));
+  EXPECT_TRUE(all_finite(v.data(), 0));
+}
+
+// --- NaN/Inf propagation (the PR's tentpole bug) ---------------------------
+//
+// The historical kernels skipped a_ip == 0 terms unconditionally, so a NaN
+// or Inf in B was silently swallowed wherever the (pruned) row of A was
+// zero — 0 * NaN must be NaN per IEEE-754, and the divergence guard counts
+// on these kernels propagating exploded values. The oracle below forms
+// every product unconditionally.
+
+Tensor oracle_matmul_full(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+/// NaN positions and finite values must both agree with the oracle.
+void expect_matches_oracle(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::size_t i = 0; i < got.numel(); ++i) {
+    if (std::isnan(want[i])) {
+      EXPECT_TRUE(std::isnan(got[i])) << "element " << i << " lost its NaN";
+    } else {
+      EXPECT_FLOAT_EQ(got[i], want[i]) << "element " << i;
+    }
+  }
+}
+
+class MatmulNonFinite : public ::testing::TestWithParam<float> {};
+
+TEST_P(MatmulNonFinite, ZeroPrunedRowsStillPropagate) {
+  const float poison = GetParam();
+  common::Rng rng(0xBAD);
+  Tensor a = Tensor::randn({6, 8}, rng);
+  // Prune: zero out two full rows of A (the salient-pruning pattern that
+  // used to swallow the poison).
+  for (std::size_t p = 0; p < 8; ++p) a[1 * 8 + p] = a[4 * 8 + p] = 0.0f;
+  Tensor b = Tensor::randn({8, 5}, rng);
+  b[2 * 5 + 3] = poison;  // one poisoned element of B
+
+  const Tensor want = oracle_matmul_full(a, b);
+  // On the pruned rows column 3 must be NaN: 0 * NaN and 0 * Inf are both
+  // NaN. (Non-pruned rows see NaN or +/-Inf depending on the poison.)
+  ASSERT_TRUE(std::isnan(want[1 * 5 + 3])) << "oracle must poison col 3";
+  ASSERT_TRUE(std::isnan(want[4 * 5 + 3])) << "oracle must poison col 3";
+
+  Tensor c;
+  matmul(a, b, c);
+  expect_matches_oracle(c, want);
+
+  Tensor c_tn;
+  matmul_tn(transpose2d(a), b, c_tn);
+  expect_matches_oracle(c_tn, want);
+
+  Tensor c_nt;
+  matmul_nt(a, transpose2d(b), c_nt);
+  expect_matches_oracle(c_nt, want);
+}
+
+TEST_P(MatmulNonFinite, PoisonedAWithFiniteBPropagates) {
+  const float poison = GetParam();
+  common::Rng rng(0xBAD2);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  a[2 * 6 + 1] = poison;
+  Tensor b = Tensor::randn({6, 3}, rng);
+
+  const Tensor want = oracle_matmul_full(a, b);
+  Tensor c;
+  matmul(a, b, c);
+  expect_matches_oracle(c, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Poisons, MatmulNonFinite,
+    ::testing::Values(std::numeric_limits<float>::quiet_NaN(),
+                      std::numeric_limits<float>::infinity(),
+                      -std::numeric_limits<float>::infinity()));
 
 }  // namespace
 }  // namespace spatl::tensor

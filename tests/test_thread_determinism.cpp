@@ -20,6 +20,7 @@
 #include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
 #include "nn/module.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
@@ -27,6 +28,20 @@ namespace spatl {
 namespace {
 
 using tensor::Tensor;
+
+// These suites lock the SCALAR reference backend: its outputs are the
+// repository's bit-identity oracle. The cpu-simd backend has its own
+// thread-count invariance lock in test_backend.cpp; pinning here keeps this
+// suite meaningful even when SPATL_BACKEND is exported in the environment.
+class ScalarBackendEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    tensor::set_active_backend(tensor::BackendKind::kScalar);
+  }
+};
+
+const auto* const kPinScalar =
+    ::testing::AddGlobalTestEnvironment(new ScalarBackendEnv);
 
 /// Run `fn` with every parallel_for pinned to a pool of `threads` threads.
 template <typename Fn>

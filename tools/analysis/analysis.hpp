@@ -10,7 +10,7 @@
 //   legacy      the original per-file determinism/resource rules
 //               (banned-random, chrono-now, fl-unordered, naked-new,
 //               pragma-once, raw-thread, raw-stderr, async-wallclock,
-//               telemetry-record-type, store-bypass)
+//               telemetry-record-type, simd-isolation, store-bypass)
 //   include     include-graph layering: the common→obs→…→fl layer DAG, with
 //               cycles and downward includes rejected (include-layer,
 //               include-cycle)

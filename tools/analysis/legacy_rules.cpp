@@ -182,6 +182,28 @@ void check_telemetry_record_type(const SourceFile& f,
   }
 }
 
+void check_simd_isolation(const SourceFile& f, std::vector<Finding>* out) {
+  // Vector intrinsics are confined to src/tensor/simd/ — the only directory
+  // whose translation units are built with ISA flags and dispatched to
+  // behind a runtime CPU check (tensor/backend.hpp). An intrinsics header
+  // anywhere else either SIGILLs older CPUs (the TU lacks -mavx2) or leaks
+  // ISA flags into portable code; both are wrong. Angle-bracket include
+  // paths are not string literals, so the scanner leaves them in the code
+  // channel where find_token sees them.
+  if (f.rel.rfind("src/tensor/simd/", 0) == 0) return;  // the sanctioned home
+  for (const char* token :
+       {"immintrin", "x86intrin", "xmmintrin", "emmintrin", "smmintrin",
+        "avxintrin", "avx2intrin", "avx512fintrin", "arm_neon"}) {
+    for (std::size_t p : find_token(f.text.code, token)) {
+      emit(f, out, "simd-isolation", p,
+           std::string(token) +
+               " outside src/tensor/simd/ — vector intrinsics live behind "
+               "the ComputeContext seam (tensor/backend.hpp) so portable "
+               "TUs never carry ISA-specific code");
+    }
+  }
+}
+
 void check_store_bypass(const SourceFile& f, std::vector<Finding>* out) {
   if (f.rel.rfind("src/fl/", 0) != 0) return;
   if (f.rel.rfind("src/fl/store/", 0) == 0) return;  // the sanctioned layer
@@ -210,6 +232,7 @@ void run_legacy_rules(const Project& project, std::vector<Finding>* out) {
     check_raw_stderr(f, out);
     check_async_wallclock(f, out);
     check_telemetry_record_type(f, out);
+    check_simd_isolation(f, out);
     check_store_bypass(f, out);
   }
 }

@@ -69,6 +69,7 @@ const std::vector<std::pair<const char*, const char*>>& rule_table() {
       {"raw-thread", "std::thread outside common/thread_pool"},
       {"raw-stderr", "stderr write bypassing common/log"},
       {"async-wallclock", "clock machinery in the virtual-time buffer"},
+      {"simd-isolation", "vector intrinsics outside src/tensor/simd/"},
       {"store-bypass", "tensor I/O around the durable store layer"},
       {"include-layer", "include edge against the layer DAG"},
       {"include-cycle", "include cycle between project files"},

@@ -40,6 +40,7 @@
 #include "obs/trace.hpp"
 #include "prune/flops.hpp"
 #include "prune/pipelines.hpp"
+#include "tensor/backend.hpp"
 
 using namespace spatl;
 
@@ -53,6 +54,7 @@ int usage() {
                "           --arch ARCH --clients N --rounds R --beta B\n"
                "           [--sample-ratio F] [--epochs E] [--lr F]\n"
                "           [--input PX] [--width F] [--seed S] [--out CKPT]\n"
+               "           [--backend scalar|cpu-simd|auto]\n"
                "           fault injection / resilience:\n"
                "           [--fault-dropout F] [--fault-straggler F]\n"
                "           [--fault-corruption F] [--fault-corruption-kind\n"
@@ -175,6 +177,7 @@ int cmd_train(const common::Flags& flags) {
   fl::RunOptions ro;
   ro.rounds = rounds;
   ro.sample_ratio = flags.get_double("sample-ratio", 1.0);
+  ro.backend = flags.get("backend", "");
 
   // Fault injection is active as soon as any --fault-* rate is set;
   // resilience flags alone enable the defended path without injection.
@@ -543,6 +546,13 @@ int main(int argc, char** argv) {
   common::set_log_level(common::LogLevel::kWarn);
   try {
     common::Flags flags(argc, argv, 2);
+    // Backend selection applies to every subcommand: evaluate/prune/info run
+    // the same GEMM kernels as training. train additionally records it in
+    // RunOptions so the runner re-pins it before the round loop.
+    const std::string backend = flags.get("backend", "");
+    if (!backend.empty()) {
+      tensor::set_active_backend(tensor::parse_backend(backend));
+    }
     if (cmd == "train") return cmd_train(flags);
     if (cmd == "evaluate") return cmd_evaluate(flags);
     if (cmd == "prune") return cmd_prune(flags);

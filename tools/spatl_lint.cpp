@@ -6,7 +6,8 @@
 //   legacy    the per-file determinism/resource rules: banned-random,
 //             chrono-now, fl-unordered, naked-new, pragma-once, raw-thread,
 //             raw-stderr, async-wallclock, telemetry-record-type,
-//             store-bypass
+//             simd-isolation (vector-intrinsics headers confined to
+//             src/tensor/simd/), store-bypass
 //   include   include-graph layering (include-layer, include-cycle)
 //   ckpt      checkpoint-coverage audit of // ckpt: annotations vs pack /
 //             unpack sites (ckpt-unannotated-field, ckpt-missing-pack,
